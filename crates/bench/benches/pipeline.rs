@@ -1,0 +1,171 @@
+//! Criterion benches: one group per pipeline stage, plus per-figure
+//! workload groups matching the evaluation harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wimi_bench::fixtures;
+use wimi_core::amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
+use wimi_core::phase::PhaseDifferenceProfile;
+use wimi_core::{WiMi, WiMiConfig};
+use wimi_dsp::filters::{butterworth_filtfilt, median_filter, slide_filter};
+use wimi_dsp::wavelet::{correlation_denoise, swt_decompose, Wavelet};
+use wimi_ml::dataset::Dataset;
+use wimi_ml::multiclass::MulticlassSvm;
+use wimi_ml::svm::SvmParams;
+use wimi_phy::csi::CsiSource;
+use wimi_phy::scenario::{Scenario, Simulator};
+
+/// Simulator throughput: CSI packet generation (the substrate for every
+/// figure's workload).
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for &packets in &[5usize, 20, 100] {
+        group.bench_with_input(BenchmarkId::new("capture", packets), &packets, |b, &n| {
+            let mut sim = Simulator::new(Scenario::builder().build(), 7);
+            b.iter(|| black_box(sim.capture(n)));
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7 workload: the denoiser comparison.
+fn bench_denoising(c: &mut Criterion) {
+    let series = fixtures::noisy_series(256);
+    let mut group = c.benchmark_group("denoising_fig7");
+    group.bench_function("median", |b| b.iter(|| black_box(median_filter(&series, 5))));
+    group.bench_function("slide", |b| b.iter(|| black_box(slide_filter(&series, 5))));
+    group.bench_function("butterworth", |b| {
+        b.iter(|| black_box(butterworth_filtfilt(&series, 0.25)))
+    });
+    group.bench_function("wavelet_correlation", |b| {
+        b.iter(|| black_box(correlation_denoise(&series)))
+    });
+    group.finish();
+}
+
+/// Wavelet transform throughput.
+fn bench_swt(c: &mut Criterion) {
+    let series = fixtures::noisy_series(256);
+    let mut group = c.benchmark_group("swt");
+    for wavelet in Wavelet::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("decompose4", wavelet.name()),
+            &wavelet,
+            |b, &w| b.iter(|| black_box(swt_decompose(&series, w, 4))),
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 2/6/12 workload: phase calibration and subcarrier ranking.
+fn bench_phase_calibration(c: &mut Criterion) {
+    let (base, tar) = fixtures::capture_pair(20);
+    let mut group = c.benchmark_group("phase_calibration_fig12");
+    group.bench_function("profile", |b| {
+        b.iter(|| black_box(PhaseDifferenceProfile::compute(&tar, 0, 1)))
+    });
+    group.bench_function("rank_subcarriers", |b| {
+        let pb = PhaseDifferenceProfile::compute(&base, 0, 1);
+        let pt = PhaseDifferenceProfile::compute(&tar, 0, 1);
+        b.iter(|| black_box(wimi_core::subcarrier::rank_subcarriers(&pb, &pt)))
+    });
+    group.finish();
+}
+
+/// Fig. 8/14 workload: the amplitude pipeline.
+fn bench_amplitude(c: &mut Criterion) {
+    let (_, tar) = fixtures::capture_pair(20);
+    let mut group = c.benchmark_group("amplitude_fig14");
+    group.bench_function("ratio_profile_raw", |b| {
+        b.iter(|| black_box(AmplitudeRatioProfile::compute(&tar, 0, 1, &AmplitudeConfig::raw())))
+    });
+    group.bench_function("ratio_profile_denoised", |b| {
+        b.iter(|| {
+            black_box(AmplitudeRatioProfile::compute(
+                &tar,
+                0,
+                1,
+                &AmplitudeConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Fig. 9/15 workload: full feature extraction (the per-measurement cost
+/// of every identification figure).
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feature_extraction_fig15");
+    for &packets in &[5usize, 20] {
+        let (base, tar) = fixtures::capture_pair(packets);
+        let wimi = WiMi::new(WiMiConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("extract_feature", packets),
+            &packets,
+            |b, _| b.iter(|| black_box(wimi.extract_feature(&base, &tar))),
+        );
+    }
+    group.finish();
+}
+
+/// Fig. 15/16 workload: SVM training and prediction on Ω̄-like features.
+fn bench_classifier(c: &mut Criterion) {
+    // A 10-class, 4-D dataset shaped like the Fig. 15 feature table.
+    let mut ds = Dataset::new((0..10).map(|i| format!("c{i}")).collect());
+    for class in 0..10usize {
+        for trial in 0..20usize {
+            let centre = 0.05 + 0.05 * class as f64;
+            let x: Vec<f64> = (0..4)
+                .map(|d| centre + 0.003 * ((trial * 7 + d * 3) % 11) as f64 / 11.0)
+                .collect();
+            ds.push(x, class);
+        }
+    }
+    let mut group = c.benchmark_group("classifier_fig15");
+    group.sample_size(20);
+    group.bench_function("svm_train_10class", |b| {
+        b.iter(|| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+            black_box(MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng))
+        })
+    });
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let model = MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng);
+    group.bench_function("svm_predict", |b| {
+        b.iter(|| black_box(model.predict(&[0.21, 0.21, 0.22, 0.21])))
+    });
+    group.finish();
+}
+
+/// End-to-end: one full identification measurement (capture → feature),
+/// the unit of work behind Figs. 13–21.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+    group.bench_function("measure_and_extract", |b| {
+        let wimi = WiMi::new(WiMiConfig::default());
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = Simulator::new(Scenario::builder().build(), seed);
+            let base = sim.capture(20);
+            sim.set_liquid(Some(wimi_phy::material::Liquid::Milk.into()));
+            let tar = sim.capture(20);
+            black_box(wimi.extract_feature(&base, &tar))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_denoising,
+    bench_swt,
+    bench_phase_calibration,
+    bench_amplitude,
+    bench_feature_extraction,
+    bench_classifier,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # wimi-bench
+//!
+//! Criterion benchmarks for the WiMi pipeline. Run with
+//! `cargo bench -p wimi-bench`. One benchmark group exists per pipeline
+//! stage plus per-figure workload groups (see `benches/pipeline.rs`).
+
+/// Benchmark fixture helpers shared by the bench targets.
+pub mod fixtures {
+    use wimi_phy::csi::{CsiCapture, CsiSource};
+    use wimi_phy::material::Liquid;
+    use wimi_phy::scenario::{Scenario, Simulator};
+
+    /// A deterministic baseline/target capture pair for benchmarking.
+    pub fn capture_pair(packets: usize) -> (CsiCapture, CsiCapture) {
+        let mut sim = Simulator::new(Scenario::builder().build(), 42);
+        let baseline = sim.capture(packets);
+        sim.set_liquid(Some(Liquid::Milk.into()));
+        let target = sim.capture(packets);
+        (baseline, target)
+    }
+
+    /// A noisy amplitude series for denoiser benchmarks.
+    pub fn noisy_series(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                1.0 + 0.2 * (0.05 * t).sin()
+                    + if i % 17 == 0 { 0.5 } else { 0.0 }
+                    + 0.02 * (3.7 * t).sin()
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,230 @@
+//! CSI amplitude denoising and the cross-antenna amplitude ratio
+//! (paper §III-C).
+//!
+//! The pipeline per (antenna, subcarrier) amplitude time series:
+//!
+//! 1. 3σ outlier rejection (repair by interpolation),
+//! 2. spatially-selective wavelet-correlation denoising,
+//! 3. cross-antenna ratio `|H_a|/|H_b|`, whose common AGC/multipath
+//!    variation cancels (paper Fig. 8).
+
+use wimi_dsp::outlier::reject_outliers_3sigma;
+use wimi_dsp::stats::{mean, variance};
+use wimi_dsp::wavelet::CorrelationDenoiser;
+use wimi_phy::csi::CsiCapture;
+
+/// Configuration of the amplitude stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeConfig {
+    /// Apply 3σ outlier rejection.
+    pub reject_outliers: bool,
+    /// Apply the wavelet-correlation denoiser.
+    pub wavelet_denoise: bool,
+    /// Denoiser settings.
+    pub denoiser: CorrelationDenoiser,
+}
+
+impl Default for AmplitudeConfig {
+    fn default() -> Self {
+        AmplitudeConfig {
+            reject_outliers: true,
+            wavelet_denoise: true,
+            denoiser: CorrelationDenoiser::default(),
+        }
+    }
+}
+
+impl AmplitudeConfig {
+    /// A configuration with every cleaning step off (the paper's
+    /// "w/o noise removed" ablation of Fig. 14).
+    pub fn raw() -> Self {
+        AmplitudeConfig {
+            reject_outliers: false,
+            wavelet_denoise: false,
+            denoiser: CorrelationDenoiser::default(),
+        }
+    }
+
+    /// Cleans one amplitude time series according to the configuration.
+    pub fn clean_series(&self, series: &[f64]) -> Vec<f64> {
+        let mut xs = series.to_vec();
+        if self.reject_outliers {
+            xs = reject_outliers_3sigma(&xs);
+        }
+        if self.wavelet_denoise {
+            xs = self.denoiser.denoise(&xs);
+        }
+        xs
+    }
+}
+
+/// Per-subcarrier amplitude-ratio summary for one antenna pair over a
+/// capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmplitudeRatioProfile {
+    /// Antenna pair (a, b).
+    pub pair: (usize, usize),
+    /// Mean cleaned ratio `|H_a|/|H_b|` per subcarrier.
+    pub mean: Vec<f64>,
+    /// Variance of the cleaned per-packet ratio per subcarrier.
+    pub variance: Vec<f64>,
+}
+
+impl AmplitudeRatioProfile {
+    /// Computes the profile: cleans each antenna's amplitude series, then
+    /// forms the per-packet ratio and summarises it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is empty, indices are out of range or equal.
+    pub fn compute(capture: &CsiCapture, a: usize, b: usize, config: &AmplitudeConfig) -> Self {
+        assert!(!capture.is_empty(), "capture holds no packets");
+        assert!(a != b, "amplitude ratio needs two distinct antennas");
+        let n_ant = capture.n_antennas();
+        assert!(a < n_ant && b < n_ant, "antenna index out of range");
+
+        let n_sub = capture.n_subcarriers();
+        let mut mean_out = Vec::with_capacity(n_sub);
+        let mut var_out = Vec::with_capacity(n_sub);
+        for k in 0..n_sub {
+            let sa = config.clean_series(&capture.amplitude_series(a, k));
+            let sb = config.clean_series(&capture.amplitude_series(b, k));
+            let ratio: Vec<f64> = sa
+                .iter()
+                .zip(&sb)
+                .map(|(x, y)| if *y > 0.0 { x / y } else { f64::NAN })
+                .filter(|r| r.is_finite())
+                .collect();
+            if ratio.is_empty() {
+                mean_out.push(f64::NAN);
+                var_out.push(f64::NAN);
+            } else {
+                mean_out.push(mean(&ratio));
+                var_out.push(variance(&ratio));
+            }
+        }
+        AmplitudeRatioProfile {
+            pair: (a, b),
+            mean: mean_out,
+            variance: var_out,
+        }
+    }
+
+    /// Number of subcarriers.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Returns `true` for an empty profile (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// Mean ratio variance across subcarriers — the pair-stability score
+    /// for antenna selection (paper Fig. 10b).
+    pub fn mean_variance(&self) -> f64 {
+        let finite: Vec<f64> = self.variance.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    }
+}
+
+/// Per-antenna amplitude variance per subcarrier (uncleaned) — used for
+/// the Fig. 8 comparison of single-antenna amplitude vs. the ratio.
+pub fn per_antenna_amplitude_variance(capture: &CsiCapture, antenna: usize) -> Vec<f64> {
+    assert!(!capture.is_empty(), "capture holds no packets");
+    (0..capture.n_subcarriers())
+        .map(|k| variance(&capture.amplitude_series(antenna, k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimi_phy::csi::CsiSource;
+    use wimi_phy::scenario::{Scenario, Simulator};
+
+    fn capture() -> CsiCapture {
+        let mut sim = Simulator::new(Scenario::builder().build(), 17);
+        sim.capture(120)
+    }
+
+    #[test]
+    fn profile_dimensions() {
+        let cap = capture();
+        let prof = AmplitudeRatioProfile::compute(&cap, 0, 1, &AmplitudeConfig::default());
+        assert_eq!(prof.len(), 30);
+        assert_eq!(prof.pair, (0, 1));
+        assert!(!prof.is_empty());
+        assert!(prof.mean.iter().all(|m| m.is_finite() && *m > 0.0));
+    }
+
+    #[test]
+    fn ratio_is_more_stable_than_single_antenna() {
+        // Reproduces the paper's Fig. 8 observation: AGC wobble and common
+        // multipath cancel in the ratio.
+        let cap = capture();
+        let prof = AmplitudeRatioProfile::compute(&cap, 0, 1, &AmplitudeConfig::raw());
+        let ant0 = per_antenna_amplitude_variance(&cap, 0);
+        // Compare normalised variation (variance / mean²) averaged over
+        // subcarriers.
+        let mean_amp: Vec<f64> = (0..30)
+            .map(|k| mean(&cap.amplitude_series(0, k)))
+            .collect();
+        let cv_ant: f64 = (0..30)
+            .map(|k| ant0[k] / (mean_amp[k] * mean_amp[k]))
+            .sum::<f64>()
+            / 30.0;
+        let cv_ratio: f64 = (0..30)
+            .map(|k| prof.variance[k] / (prof.mean[k] * prof.mean[k]))
+            .sum::<f64>()
+            / 30.0;
+        assert!(
+            cv_ratio < cv_ant,
+            "ratio CV ({cv_ratio:.5}) should beat single-antenna CV ({cv_ant:.5})"
+        );
+    }
+
+    #[test]
+    fn cleaning_reduces_ratio_variance() {
+        let cap = capture();
+        let raw = AmplitudeRatioProfile::compute(&cap, 0, 1, &AmplitudeConfig::raw());
+        let cleaned = AmplitudeRatioProfile::compute(&cap, 0, 1, &AmplitudeConfig::default());
+        assert!(
+            cleaned.mean_variance() < raw.mean_variance(),
+            "cleaning should shrink variance: raw {} vs cleaned {}",
+            raw.mean_variance(),
+            cleaned.mean_variance()
+        );
+    }
+
+    #[test]
+    fn clean_series_respects_flags() {
+        let mut series: Vec<f64> = (0..64).map(|i| 1.0 + 0.01 * (i as f64 * 0.4).sin()).collect();
+        series[30] = 50.0;
+        let raw = AmplitudeConfig::raw().clean_series(&series);
+        assert_eq!(raw, series);
+        let cleaned = AmplitudeConfig::default().clean_series(&series);
+        assert!(cleaned[30] < 2.0, "outlier survived: {}", cleaned[30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct antennas")]
+    fn rejects_same_antenna() {
+        let cap = capture();
+        let _ = AmplitudeRatioProfile::compute(&cap, 2, 2, &AmplitudeConfig::default());
+    }
+
+    #[test]
+    fn mean_variance_skips_nans() {
+        let prof = AmplitudeRatioProfile {
+            pair: (0, 1),
+            mean: vec![1.0, 1.0],
+            variance: vec![0.5, f64::NAN],
+        };
+        assert!((prof.mean_variance() - 0.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,114 @@
+//! Error types for the WiMi pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from feature extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureError {
+    /// A capture held no packets or too few to process.
+    EmptyCapture,
+    /// Captures disagree in antenna/subcarrier dimensions.
+    DimensionMismatch,
+    /// Fewer than two antennas: the cross-antenna feature needs a pair.
+    NeedTwoAntennas,
+    /// No phase-wrap count γ produced a physically consistent material
+    /// feature — typically the LoS does not penetrate the target (metal
+    /// or foil container) or the liquid is in motion.
+    NoConsistentFeature {
+        /// Best relative dispersion achieved over the γ candidates.
+        best_dispersion: f64,
+    },
+    /// The amplitude ratio collapsed to zero/∞ (blocked or saturated link).
+    DegenerateAmplitude,
+}
+
+impl fmt::Display for FeatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureError::EmptyCapture => write!(f, "capture holds no packets"),
+            FeatureError::DimensionMismatch => {
+                write!(f, "baseline and target captures have mismatched dimensions")
+            }
+            FeatureError::NeedTwoAntennas => {
+                write!(f, "material feature requires at least two receive antennas")
+            }
+            FeatureError::NoConsistentFeature { best_dispersion } => write!(
+                f,
+                "no phase-wrap count gives a consistent material feature \
+                 (best dispersion {best_dispersion:.3}); the signal may not \
+                 penetrate the target"
+            ),
+            FeatureError::DegenerateAmplitude => {
+                write!(f, "amplitude ratio is degenerate (blocked or saturated link)")
+            }
+        }
+    }
+}
+
+impl Error for FeatureError {}
+
+/// Errors from identification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IdentifyError {
+    /// Feature extraction failed.
+    Feature(FeatureError),
+    /// The classifier has not been trained.
+    NotTrained,
+}
+
+impl fmt::Display for IdentifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdentifyError::Feature(e) => write!(f, "feature extraction failed: {e}"),
+            IdentifyError::NotTrained => write!(f, "identifier has not been trained"),
+        }
+    }
+}
+
+impl Error for IdentifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IdentifyError::Feature(e) => Some(e),
+            IdentifyError::NotTrained => None,
+        }
+    }
+}
+
+impl From<FeatureError> for IdentifyError {
+    fn from(e: FeatureError) -> Self {
+        IdentifyError::Feature(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        assert!(FeatureError::EmptyCapture.to_string().contains("no packets"));
+        assert!(FeatureError::NoConsistentFeature {
+            best_dispersion: 1.5
+        }
+        .to_string()
+        .contains("1.5"));
+        let err: IdentifyError = FeatureError::NeedTwoAntennas.into();
+        assert!(err.to_string().contains("two receive antennas"));
+        assert!(IdentifyError::NotTrained.to_string().contains("trained"));
+    }
+
+    #[test]
+    fn identify_error_sources() {
+        let err: IdentifyError = FeatureError::EmptyCapture.into();
+        assert!(err.source().is_some());
+        assert!(IdentifyError::NotTrained.source().is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FeatureError>();
+        assert_send_sync::<IdentifyError>();
+    }
+}

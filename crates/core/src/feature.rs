@@ -1,0 +1,901 @@
+//! The size-independent material feature Ω̄ (paper §III-D/E).
+//!
+//! From the calibrated cross-antenna phase difference and amplitude ratio
+//! of a baseline (empty beaker) and target (liquid poured in) capture:
+//!
+//! - `ΔΘ = (D₁ − D₂)(β_tar − β_free)`   (Eq. 18)
+//! - `ΔΨ = e^{−(D₁ − D₂)(α_tar − α_free)}`   (Eq. 19)
+//! - `Ω̄ = −ln ΔΨ / (ΔΘ + 2γπ) = (α_tar − α_free)/(β_tar − β_free)`   (Eq. 20–21)
+//!
+//! The unknown path-length difference `D₁ − D₂` cancels, so Ω̄ depends on
+//! the material constants only — target size drops out. The integer γ
+//! accounts for phase wrapping of `ΔΘ`; it is resolved by searching the
+//! small candidate range for the value that makes Ω̄ consistent across
+//! the selected subcarriers (Ω̄ is essentially frequency-flat over one
+//! Wi-Fi channel) and sign-consistent with the amplitude ratio.
+//!
+//! Sign convention: a propagating field accumulates phase as `e^{−jβd}`,
+//! so a longer in-material path *lowers* the measured phase while raising
+//! the attenuation — `ΔΘ + 2γπ = −(D₁−D₂)(β_tar−β_free)` and
+//! `−ln ΔΨ = (D₁−D₂)(α_tar−α_free)` carry opposite signs. We therefore
+//! define the feature as `Ω̄ = −(−ln ΔΨ)/(ΔΘ + 2γπ)`, which is positive
+//! for every passive liquid (`α_tar > α_free`, `β_tar > β_free`).
+
+use crate::amplitude::AmplitudeRatioProfile;
+use crate::error::FeatureError;
+use crate::phase::PhaseDifferenceProfile;
+use wimi_dsp::stats::{mean, std_dev, wrap_to_pi};
+
+/// Physically plausible range for Ω̄ of liquids at 5 GHz: oil ≈ 0.04,
+/// honey ≈ 0.3, brines up to ≈ 0.8. Per-subcarrier values get loose
+/// bounds — for near-lossless liquids the amplitude term is tiny and
+/// noise can flip an individual subcarrier's sign — while the *mean* must
+/// sit in the physical range, which rejects the near-zero junk clusters
+/// that large wrong |γ| values produce.
+const OMEGA_SUBCARRIER_FLOOR: f64 = -0.10;
+const OMEGA_SUBCARRIER_MAX: f64 = 2.5;
+const OMEGA_MEAN_FLOOR: f64 = -0.015;
+const OMEGA_MEAN_MAX: f64 = 2.0;
+/// Absolute floor used when normalising dispersion/spread statistics so
+/// legitimately-small Ω̄ (low-loss liquids) is not unfairly penalised.
+const OMEGA_NORM_FLOOR: f64 = 0.03;
+
+/// Configuration for feature extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureConfig {
+    /// Half-width of the γ search range (candidates `−g..=g`).
+    pub gamma_search: i32,
+    /// Maximum accepted relative dispersion (std/|mean|) of Ω̄ across
+    /// subcarriers; above this the feature is rejected as inconsistent
+    /// (blocked LoS, moving liquid, ...).
+    pub max_dispersion: f64,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            gamma_search: 3,
+            max_dispersion: 0.8,
+        }
+    }
+}
+
+/// The extracted material feature for one antenna pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterialFeature {
+    /// Antenna pair the feature was computed over.
+    pub pair: (usize, usize),
+    /// Subcarriers used (indices into the capture's subcarrier axis).
+    pub subcarriers: Vec<usize>,
+    /// Ω̄ per selected subcarrier.
+    pub omega: Vec<f64>,
+    /// Wrapped phase change `ΔΘ` per selected subcarrier, radians.
+    pub delta_theta: Vec<f64>,
+    /// Amplitude ratio change `ΔΨ` per selected subcarrier.
+    pub delta_psi: Vec<f64>,
+    /// Resolved phase-wrap count γ.
+    pub gamma: i32,
+    /// Relative dispersion of Ω̄ across subcarriers (quality indicator).
+    pub dispersion: f64,
+}
+
+impl MaterialFeature {
+    /// Mean Ω̄ over the selected subcarriers.
+    pub fn omega_mean(&self) -> f64 {
+        mean(&self.omega)
+    }
+
+    /// The classifier input: per-subcarrier Ω̄ values (fixed length = the
+    /// configured subcarrier count).
+    pub fn as_vector(&self) -> Vec<f64> {
+        self.omega.clone()
+    }
+
+    /// Extracts the feature from baseline/target phase and amplitude
+    /// profiles restricted to `subcarriers`.
+    ///
+    /// # Errors
+    ///
+    /// - [`FeatureError::DegenerateAmplitude`] if any amplitude ratio is
+    ///   non-positive or non-finite.
+    /// - [`FeatureError::NoConsistentFeature`] if no γ candidate yields a
+    ///   sign-consistent, frequency-consistent Ω̄ — the physical signature
+    ///   of a target the signal cannot penetrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles cover different antenna pairs or subcarrier
+    /// counts, or `subcarriers` is empty.
+    pub fn extract(
+        phase_base: &PhaseDifferenceProfile,
+        phase_tar: &PhaseDifferenceProfile,
+        amp_base: &AmplitudeRatioProfile,
+        amp_tar: &AmplitudeRatioProfile,
+        subcarriers: &[usize],
+        config: &FeatureConfig,
+    ) -> Result<MaterialFeature, FeatureError> {
+        assert_eq!(phase_base.pair, phase_tar.pair, "phase profiles pair mismatch");
+        assert_eq!(amp_base.pair, amp_tar.pair, "amplitude profiles pair mismatch");
+        assert_eq!(phase_base.pair, amp_base.pair, "phase/amplitude pair mismatch");
+        assert!(!subcarriers.is_empty(), "need at least one subcarrier");
+
+        // ΔΘ_k (wrapped) per selected subcarrier; ΔΨ reported per selected
+        // subcarrier but *used* as a band-median over every subcarrier —
+        // Ω̄ is frequency-flat over one Wi-Fi channel, and the median over
+        // the full band suppresses per-subcarrier amplitude noise far
+        // better than the handful of phase-selected subcarriers could.
+        let mut delta_theta = Vec::with_capacity(subcarriers.len());
+        let mut delta_psi = Vec::with_capacity(subcarriers.len());
+        for &k in subcarriers {
+            let dt = wrap_to_pi(phase_tar.mean[k] - phase_base.mean[k]);
+            let base_ratio = amp_base.mean[k];
+            let tar_ratio = amp_tar.mean[k];
+            if !base_ratio.is_finite()
+                || !tar_ratio.is_finite()
+                || base_ratio <= 0.0
+                || tar_ratio <= 0.0
+            {
+                return Err(FeatureError::DegenerateAmplitude);
+            }
+            delta_theta.push(dt);
+            delta_psi.push(tar_ratio / base_ratio);
+        }
+        let ln_psi_band = band_ln_psi(amp_base, amp_tar).ok_or(FeatureError::DegenerateAmplitude)?;
+
+        // γ resolution for a single pair: a low-loss liquid cannot have
+        // wrapped (γ = 0); a lossy one picks the γ whose unwrapped phase
+        // best matches the frequency-slope estimate. (The joint
+        // multi-pair extraction in [`Self::extract_joint`] is more robust;
+        // this single-pair path serves two-antenna hardware.)
+        let mut best_dispersion_any = f64::INFINITY;
+        let mut best: Option<GammaCandidate> = None;
+        if ln_psi_band.abs() < LOW_LOSS_LN_PSI {
+            let zero_cfg = FeatureConfig {
+                gamma_search: 0,
+                ..config.clone()
+            };
+            for cand in enumerate_gamma_candidates(
+                &delta_theta,
+                ln_psi_band,
+                &zero_cfg,
+                (LOW_LOSS_MEAN_FLOOR, OMEGA_MEAN_MAX),
+            ) {
+                best_dispersion_any = best_dispersion_any.min(cand.dispersion);
+                if cand.dispersion <= config.max_dispersion {
+                    best = Some(cand);
+                }
+            }
+        } else {
+            let slope_est = slope_unwrapped_estimate(phase_base, phase_tar);
+            let dt_mean = mean(&delta_theta);
+            let candidates = enumerate_gamma_candidates(
+                &delta_theta,
+                ln_psi_band,
+                config,
+                (0.004, OMEGA_MEAN_MAX),
+            );
+            for cand in candidates {
+                best_dispersion_any = best_dispersion_any.min(cand.dispersion);
+                if cand.dispersion > config.max_dispersion {
+                    continue;
+                }
+                let unwrapped = dt_mean + cand.gamma as f64 * std::f64::consts::TAU;
+                let dist = if slope_est.is_finite() {
+                    (unwrapped - slope_est).abs()
+                } else {
+                    cand.gamma.abs() as f64
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let b_unwrapped = dt_mean + b.gamma as f64 * std::f64::consts::TAU;
+                        let b_dist = if slope_est.is_finite() {
+                            (b_unwrapped - slope_est).abs()
+                        } else {
+                            b.gamma.abs() as f64
+                        };
+                        dist < b_dist
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+        }
+
+        match best {
+            Some(cand) => Ok(MaterialFeature {
+                pair: phase_base.pair,
+                subcarriers: subcarriers.to_vec(),
+                omega: cand.omegas.clone(),
+                delta_theta,
+                delta_psi,
+                gamma: cand.gamma,
+                dispersion: cand.dispersion,
+            }),
+            None => Err(FeatureError::NoConsistentFeature {
+                best_dispersion: best_dispersion_any,
+            }),
+        }
+    }
+
+    /// Jointly extracts the feature over several antenna pairs, using the
+    /// smallest-differential pair as a wrap-free anchor to resolve the
+    /// phase-wrap count γ of the others.
+    ///
+    /// A single pair cannot disambiguate γ: when `ΔΘ` is nearly
+    /// frequency-flat, every γ gives an equally self-consistent Ω̄ (they
+    /// are scaled copies of each other). The physics offers two anchors:
+    ///
+    /// 1. `|ln ΔΨ|` is unambiguous (no wrapping) and proportional to
+    ///    `|D₁ − D₂|`, so the pair with the smallest `|ln ΔΨ|` has the
+    ///    smallest path differential — small enough that its `ΔΘ` cannot
+    ///    have wrapped (γ = 0). Its Ω̄ estimate, though noisy, is within a
+    ///    factor ~2 of the truth, which is all that is needed to pick the
+    ///    right γ for the strong pairs (adjacent γ change Ω̄ by ≥ 2×).
+    /// 2. If even the *largest* `|ln ΔΨ|` is tiny, the liquid is low-loss;
+    ///    Debye liquids with low loss also have low permittivity, hence a
+    ///    small `β` contrast, and no pair wraps: γ = 0 everywhere.
+    ///
+    /// This is the multi-antenna leverage the paper's §III-F points to.
+    ///
+    /// # Errors
+    ///
+    /// [`FeatureError::NoConsistentFeature`] when the resolved pairs still
+    /// disagree (blocked LoS, moving liquid);
+    /// [`FeatureError::DegenerateAmplitude`] when every pair's amplitudes
+    /// are unusable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn extract_joint(
+        inputs: &[PairMeasurement<'_>],
+        config: &FeatureConfig,
+    ) -> Result<MaterialFeature, FeatureError> {
+        assert!(!inputs.is_empty(), "need at least one pair measurement");
+
+        struct PairData {
+            pair: (usize, usize),
+            subcarriers: Vec<usize>,
+            delta_theta: Vec<f64>,
+            delta_psi: Vec<f64>,
+            ln_psi_band: f64,
+            /// Coarse unwrapped-ΔΘ estimate from the frequency slope.
+            unwrapped_est: f64,
+        }
+        let mut per_pair: Vec<PairData> = Vec::new();
+        for m in inputs {
+            let mut delta_theta = Vec::with_capacity(m.subcarriers.len());
+            let mut delta_psi = Vec::with_capacity(m.subcarriers.len());
+            let mut degenerate = false;
+            for &k in m.subcarriers {
+                let dt = wrap_to_pi(m.phase_tar.mean[k] - m.phase_base.mean[k]);
+                let br = m.amp_base.mean[k];
+                let tr = m.amp_tar.mean[k];
+                if !br.is_finite() || !tr.is_finite() || br <= 0.0 || tr <= 0.0 {
+                    degenerate = true;
+                    break;
+                }
+                delta_theta.push(dt);
+                delta_psi.push(tr / br);
+            }
+            let Some(ln_psi_band) = band_ln_psi(m.amp_base, m.amp_tar) else {
+                continue;
+            };
+            if degenerate {
+                continue;
+            }
+            let unwrapped_est = slope_unwrapped_estimate(m.phase_base, m.phase_tar);
+            per_pair.push(PairData {
+                pair: m.phase_base.pair,
+                subcarriers: m.subcarriers.to_vec(),
+                delta_theta,
+                delta_psi,
+                ln_psi_band,
+                unwrapped_est,
+            });
+        }
+        if per_pair.is_empty() {
+            return Err(FeatureError::DegenerateAmplitude);
+        }
+
+        let strongest = per_pair
+            .iter()
+            .map(|p| p.ln_psi_band.abs())
+            .fold(0.0f64, f64::max);
+
+        // Resolve γ per pair.
+        let mut resolved: Vec<(usize, GammaCandidate)> = Vec::new(); // (pair idx, cand)
+        if strongest < LOW_LOSS_LN_PSI {
+            // Low-loss liquid: nothing wraps, and slightly negative means
+            // (pure amplitude noise on a near-zero contrast) are
+            // tolerated. Pairs with a near-zero phase differential carry
+            // no information for such liquids — their Ω̄ is noise over
+            // noise — and are skipped.
+            for (i, p) in per_pair.iter().enumerate() {
+                if mean(&p.delta_theta).abs() < LOW_LOSS_MIN_PHASE {
+                    continue;
+                }
+                let zero_cfg = FeatureConfig {
+                    gamma_search: 0,
+                    ..config.clone()
+                };
+                if let Some(c) = enumerate_gamma_candidates(
+                    &p.delta_theta,
+                    p.ln_psi_band,
+                    &zero_cfg,
+                    (LOW_LOSS_MEAN_FLOOR, OMEGA_MEAN_MAX),
+                )
+                .into_iter()
+                .next()
+                {
+                    resolved.push((i, c));
+                }
+            }
+        } else {
+            // Multi-baseline unwrapping. All pairs share the material's
+            // Ω̄, and each pair's wrap-free `−ln ΔΨ` predicts its
+            // *unwrapped* phase change: `ΔΘ_true = −lnΔΨ_band / Ω̄`
+            // (with the e^{−jβd} sign convention, phase drops as
+            // attenuation grows). A 1-D search over Ω̄ scores how well
+            // each candidate explains every pair's *wrapped* measurement;
+            // pairs with different |D₁−D₂| alias at different rates, so
+            // only the true Ω̄ reconciles them — the same principle as
+            // multi-baseline interferometric phase unwrapping.
+            let dt_band: Vec<f64> = per_pair
+                .iter()
+                .map(|p| wimi_dsp::stats::circular_mean(&p.delta_theta))
+                .collect();
+            let mut best_omega = f64::NAN;
+            let mut best_score = f64::INFINITY;
+            let n_grid = 600usize;
+            let (lo, hi) = (OMEGA_GRID_MIN, OMEGA_MEAN_MAX);
+            let mut grid_scores = Vec::with_capacity(n_grid);
+            for i in 0..n_grid {
+                let omega = lo * (hi / lo).powf(i as f64 / (n_grid - 1) as f64);
+                let mut score = 0.0;
+                let mut wsum: f64 = 0.0;
+                for (p, &dt) in per_pair.iter().zip(&dt_band) {
+                    let predicted = -p.ln_psi_band / omega;
+                    if predicted.abs()
+                        > (2 * config.gamma_search as usize + 1) as f64 * std::f64::consts::PI
+                    {
+                        // This Ω̄ would need more wraps than the geometry
+                        // allows; penalise it heavily.
+                        score += 10.0;
+                        wsum += 1.0;
+                        continue;
+                    }
+                    // Wrapped-phase residual (precise but 2π-ambiguous)…
+                    let r = wrap_to_pi(predicted - dt);
+                    score += r * r / (PHASE_RESIDUAL_STD * PHASE_RESIDUAL_STD);
+                    // …plus the frequency-slope estimate of the unwrapped
+                    // phase (coarse but unambiguous): `ΔΘ_true(f)` scales
+                    // with `f`, so its slope across the band, extrapolated
+                    // to the carrier, estimates the total unwrapped value.
+                    if p.unwrapped_est.is_finite() {
+                        let rs = predicted - p.unwrapped_est;
+                        score += rs * rs / (SLOPE_RESIDUAL_STD * SLOPE_RESIDUAL_STD);
+                    }
+                    wsum += 1.0;
+                }
+                score /= wsum.max(1e-9);
+                grid_scores.push((omega, score));
+                if score < best_score {
+                    best_score = score;
+                    best_omega = omega;
+                }
+            }
+            if !best_omega.is_finite() || best_score > UNWRAP_SCORE_GATE {
+                return Err(FeatureError::NoConsistentFeature {
+                    best_dispersion: best_score,
+                });
+            }
+            // Ambiguity detection: at certain beaker placements two pairs'
+            // path differentials coincide and a *different wrap hypothesis*
+            // explains the data almost as well. Refusing such measurements
+            // (→ retake with the beaker nudged) beats silently picking one.
+            // An Ω̄ rival only counts if it implies a different γ vector —
+            // a smooth score ridge around the same wraps (small-phase
+            // liquids) is not ambiguity.
+            let gamma_vector = |omega: f64| -> Vec<i32> {
+                per_pair
+                    .iter()
+                    .zip(&dt_band)
+                    .map(|(p, &dt)| {
+                        ((-p.ln_psi_band / omega - dt) / std::f64::consts::TAU).round() as i32
+                    })
+                    .collect()
+            };
+            let best_gammas = gamma_vector(best_omega);
+            let rival = grid_scores
+                .iter()
+                .filter(|(o, _)| {
+                    (o / best_omega).ln().abs() > AMBIGUITY_LOG_SEPARATION
+                        && gamma_vector(*o) != best_gammas
+                })
+                .map(|&(_, s)| s)
+                .fold(f64::INFINITY, f64::min);
+            if rival - best_score < AMBIGUITY_MARGIN {
+                return Err(FeatureError::NoConsistentFeature {
+                    best_dispersion: rival - best_score,
+                });
+            }
+            // Materialise the per-pair candidates implied by Ω̄*.
+            for (i, (p, &dt)) in per_pair.iter().zip(&dt_band).enumerate() {
+                let predicted = -p.ln_psi_band / best_omega;
+                let gamma_f = (predicted - dt) / std::f64::consts::TAU;
+                let gamma = gamma_f.round() as i32;
+                if gamma.abs() > config.gamma_search {
+                    continue;
+                }
+                let zero_cfg = FeatureConfig {
+                    gamma_search: 0,
+                    ..config.clone()
+                };
+                let shifted: Vec<f64> = p
+                    .delta_theta
+                    .iter()
+                    .map(|d| d + gamma as f64 * std::f64::consts::TAU)
+                    .collect();
+                if let Some(mut c) = enumerate_gamma_candidates(
+                    &shifted,
+                    p.ln_psi_band,
+                    &zero_cfg,
+                    (OMEGA_MEAN_FLOOR, OMEGA_MEAN_MAX),
+                )
+                .into_iter()
+                .next()
+                {
+                    c.gamma = gamma;
+                    resolved.push((i, c));
+                }
+            }
+        }
+        if resolved.is_empty() {
+            return Err(FeatureError::NoConsistentFeature {
+                best_dispersion: f64::INFINITY,
+            });
+        }
+
+        // Consistency gate: the resolved pairs' Ω̄ means must agree. This
+        // is what rejects blocked (metal) or churning (flowing) targets.
+        let means: Vec<f64> = resolved.iter().map(|(_, c)| mean(&c.omegas)).collect();
+        let grand = mean(&means);
+        let spread = if means.len() >= 2 {
+            let max = means.iter().cloned().fold(f64::MIN, f64::max);
+            let min = means.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / grand.abs().max(OMEGA_NORM_FLOOR)
+        } else {
+            resolved[0].1.dispersion
+        };
+        if spread > JOINT_SPREAD_GATE * config.max_dispersion {
+            return Err(FeatureError::NoConsistentFeature {
+                best_dispersion: spread,
+            });
+        }
+
+        // Primary pair: the strongest phase differential among the
+        // resolved (largest unwrapped |ΔΘ| → highest phase SNR; for lossy
+        // liquids this coincides with the largest |lnΨ|, while for
+        // low-loss liquids |lnΨ| is pure noise and must not decide).
+        let denom_mag = |cand: &GammaCandidate, p: &PairData| -> f64 {
+            let shift = cand.gamma as f64 * std::f64::consts::TAU;
+            mean(&p.delta_theta.iter().map(|d| d + shift).collect::<Vec<_>>()).abs()
+        };
+        let (idx, cand) = resolved
+            .into_iter()
+            .max_by(|(ia, ca), (ib, cb)| {
+                denom_mag(ca, &per_pair[*ia])
+                    .partial_cmp(&denom_mag(cb, &per_pair[*ib]))
+                    .expect("finite phase")
+            })
+            .expect("non-empty");
+        if cand.dispersion > config.max_dispersion {
+            return Err(FeatureError::NoConsistentFeature {
+                best_dispersion: cand.dispersion,
+            });
+        }
+        let pdata = &per_pair[idx];
+        Ok(MaterialFeature {
+            pair: pdata.pair,
+            subcarriers: pdata.subcarriers.clone(),
+            omega: cand.omegas.clone(),
+            delta_theta: pdata.delta_theta.clone(),
+            delta_psi: pdata.delta_psi.clone(),
+            gamma: cand.gamma,
+            dispersion: cand.dispersion,
+        })
+    }
+}
+
+/// Largest-pair `|ln ΔΨ|` below which the liquid is treated as low-loss
+/// (γ = 0 everywhere; see [`MaterialFeature::extract_joint`]).
+const LOW_LOSS_LN_PSI: f64 = 0.25;
+/// Mean-Ω̄ floor used in the low-loss branch, where the amplitude term is
+/// pure noise around zero.
+const LOW_LOSS_MEAN_FLOOR: f64 = -0.25;
+/// Minimum |ΔΘ| (radians) for a pair to count in the low-loss branch.
+const LOW_LOSS_MIN_PHASE: f64 = 0.15;
+/// Multiplier on `max_dispersion` for the joint cross-pair agreement gate.
+const JOINT_SPREAD_GATE: f64 = 1.5;
+/// Lower edge of the multi-baseline Ω̄ search grid.
+const OMEGA_GRID_MIN: f64 = 0.01;
+/// Assumed std dev of the wrapped-phase residual (radians).
+const PHASE_RESIDUAL_STD: f64 = 0.20;
+/// Assumed std dev of the frequency-slope unwrapped-phase estimate
+/// (radians). Coarse — it only gently tilts the score between otherwise
+/// tied wrap hypotheses.
+const SLOPE_RESIDUAL_STD: f64 = 8.0;
+/// Minimum score gap between the best Ω̄ and the best *distant* Ω̄
+/// hypothesis; smaller gaps mean the geometry is wrap-ambiguous for this
+/// placement and the measurement should be retaken.
+const AMBIGUITY_MARGIN: f64 = 4.0;
+/// Two Ω̄ hypotheses are "distant" when they differ by more than this in
+/// log space (≈ 28 %).
+const AMBIGUITY_LOG_SEPARATION: f64 = 0.25;
+/// Maximum accepted normalised residual of the multi-baseline unwrapping;
+/// larger means the pairs cannot be reconciled (blocked or churning
+/// target).
+const UNWRAP_SCORE_GATE: f64 = 12.0;
+
+/// Estimates the *unwrapped* cross-antenna phase change from its slope
+/// across the band: `ΔΘ_true(f) ∝ f`, so a least-squares slope over the
+/// subcarriers, extrapolated to the carrier frequency, recovers the total
+/// including any whole 2π turns the per-subcarrier measurement wraps away.
+fn slope_unwrapped_estimate(
+    phase_base: &PhaseDifferenceProfile,
+    phase_tar: &PhaseDifferenceProfile,
+) -> f64 {
+    let n = phase_base.mean.len().min(phase_tar.mean.len());
+    if n < 4 {
+        return f64::NAN;
+    }
+    // Wrapped ΔΘ per subcarrier, then unwrap along the band (adjacent
+    // subcarriers differ by far less than π).
+    let mut series = Vec::with_capacity(n);
+    let mut prev = 0.0f64;
+    for k in 0..n {
+        let dt = wrap_to_pi(phase_tar.mean[k] - phase_base.mean[k]);
+        let un = if k == 0 { dt } else { prev + wrap_to_pi(dt - prev) };
+        series.push(un);
+        prev = un;
+    }
+    // Least-squares slope against subcarrier position (uniform index is a
+    // good proxy: the Intel 5300 map is nearly uniform).
+    let xs: Vec<f64> = (0..n).map(|k| k as f64).collect();
+    let mx = mean(&xs);
+    let my = mean(&series);
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(&series) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den == 0.0 {
+        return f64::NAN;
+    }
+    let slope_per_index = num / den;
+    // The reported band spans ~56 subcarrier spacings of 312.5 kHz over a
+    // carrier of 5.24 GHz; per reported index the fractional frequency
+    // step is (56/29)·312.5 kHz / 5.24 GHz.
+    let frac_per_index = (56.0 / (n as f64 - 1.0)) * 312_500.0 / 5.24e9;
+    slope_per_index / frac_per_index
+}
+
+/// Band-median `−ln ΔΨ` over every finite, positive subcarrier ratio.
+/// Returns `None` when fewer than half the subcarriers are usable.
+fn band_ln_psi(amp_base: &AmplitudeRatioProfile, amp_tar: &AmplitudeRatioProfile) -> Option<f64> {
+    let n = amp_base.mean.len().min(amp_tar.mean.len());
+    let lps: Vec<f64> = (0..n)
+        .filter_map(|k| {
+            let b = amp_base.mean[k];
+            let t = amp_tar.mean[k];
+            if b.is_finite() && t.is_finite() && b > 0.0 && t > 0.0 {
+                Some(-(t / b).ln())
+            } else {
+                None
+            }
+        })
+        .collect();
+    if lps.len() * 2 < n || lps.is_empty() {
+        None
+    } else {
+        Some(wimi_dsp::stats::median(&lps))
+    }
+}
+
+/// One antenna pair's measurement inputs for
+/// [`MaterialFeature::extract_joint`].
+#[derive(Debug, Clone, Copy)]
+pub struct PairMeasurement<'a> {
+    /// Baseline phase-difference profile.
+    pub phase_base: &'a PhaseDifferenceProfile,
+    /// Target phase-difference profile.
+    pub phase_tar: &'a PhaseDifferenceProfile,
+    /// Baseline amplitude-ratio profile.
+    pub amp_base: &'a AmplitudeRatioProfile,
+    /// Target amplitude-ratio profile.
+    pub amp_tar: &'a AmplitudeRatioProfile,
+    /// Selected subcarriers.
+    pub subcarriers: &'a [usize],
+}
+
+#[derive(Debug, Clone)]
+struct GammaCandidate {
+    gamma: i32,
+    omegas: Vec<f64>,
+    dispersion: f64,
+}
+
+/// Enumerates γ candidates whose Ω̄ values are finite and within the
+/// plausible range on every subcarrier, with their relative dispersions.
+/// `ln_psi_band` is the band-median `−ln ΔΨ`; `mean_bounds` gates the mean
+/// Ω̄ (tighter for lossy liquids, looser for the low-loss branch).
+fn enumerate_gamma_candidates(
+    delta_theta: &[f64],
+    ln_psi_band: f64,
+    config: &FeatureConfig,
+    mean_bounds: (f64, f64),
+) -> Vec<GammaCandidate> {
+    let tau = std::f64::consts::TAU;
+    let sub_floor = OMEGA_SUBCARRIER_FLOOR.min(mean_bounds.0 * 2.5);
+    let mut out = Vec::new();
+    for gamma in -config.gamma_search..=config.gamma_search {
+        let mut omegas = Vec::with_capacity(delta_theta.len());
+        let mut valid = true;
+        for dt in delta_theta {
+            let denom = dt + gamma as f64 * tau;
+            if denom == 0.0 {
+                valid = false;
+                break;
+            }
+            let omega = -ln_psi_band / denom;
+            if !omega.is_finite() || !(sub_floor..=OMEGA_SUBCARRIER_MAX).contains(&omega) {
+                valid = false;
+                break;
+            }
+            omegas.push(omega);
+        }
+        if !valid {
+            continue;
+        }
+        let m = mean(&omegas);
+        if !(mean_bounds.0..=mean_bounds.1).contains(&m) {
+            continue;
+        }
+        let dispersion = std_dev(&omegas) / m.abs().max(OMEGA_NORM_FLOOR);
+        out.push(GammaCandidate {
+            gamma,
+            omegas,
+            dispersion,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds synthetic profiles implementing the paper's equations
+    /// exactly: ΔΘ_k = ΔD·(β−β₀), ΔΨ_k = e^{−ΔD·α}.
+    fn synthetic(
+        delta_d: f64,
+        alpha: f64,
+        beta_contrast: f64,
+        n_sub: usize,
+    ) -> (
+        PhaseDifferenceProfile,
+        PhaseDifferenceProfile,
+        AmplitudeRatioProfile,
+        AmplitudeRatioProfile,
+    ) {
+        // Per-index fractional frequency step matching the slope
+        // estimator's model of the band (see slope_unwrapped_estimate).
+        let frac = (56.0 / (n_sub as f64 - 1.0)) * 312_500.0 / 5.24e9;
+        let base_phase = vec![0.3; n_sub];
+        let tar_phase: Vec<f64> = (0..n_sub)
+            .map(|k| {
+                // Physical frequency dependence across subcarriers; phase
+                // drops with in-material path (e^{−jβd} convention).
+                let scale = 1.0 + frac * k as f64;
+                wrap_to_pi(0.3 - delta_d * beta_contrast * scale)
+            })
+            .collect();
+        let base_amp = vec![1.2; n_sub];
+        let tar_amp: Vec<f64> = (0..n_sub)
+            .map(|k| {
+                let scale = 1.0 + 0.002 * k as f64;
+                1.2 * (-delta_d * alpha * scale).exp()
+            })
+            .collect();
+        (
+            PhaseDifferenceProfile {
+                pair: (0, 1),
+                mean: base_phase,
+                variance: vec![0.0; n_sub],
+            },
+            PhaseDifferenceProfile {
+                pair: (0, 1),
+                mean: tar_phase,
+                variance: vec![0.0; n_sub],
+            },
+            AmplitudeRatioProfile {
+                pair: (0, 1),
+                mean: base_amp,
+                variance: vec![0.0; n_sub],
+            },
+            AmplitudeRatioProfile {
+                pair: (0, 1),
+                mean: tar_amp,
+                variance: vec![0.0; n_sub],
+            },
+        )
+    }
+
+    #[test]
+    fn recovers_omega_without_wrapping() {
+        // Oil-like: ΔΘ < π, γ = 0.
+        let (pb, pt, ab, at) = synthetic(0.007, 2.8, 65.0, 4);
+        let feat = MaterialFeature::extract(
+            &pb,
+            &pt,
+            &ab,
+            &at,
+            &[0, 1, 2, 3],
+            &FeatureConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(feat.gamma, 0);
+        let expect = 2.8 / 65.0;
+        assert!(
+            (feat.omega_mean() - expect).abs() / expect < 0.05,
+            "omega = {}, expect {expect}",
+            feat.omega_mean()
+        );
+    }
+
+    #[test]
+    fn recovers_omega_with_phase_wrap() {
+        // Water-like: ΔD·(β−β₀) ≈ 6.1 rad of phase *drop* → the wrapped
+        // measurement needs γ = −1 to recover the true −6.1 rad.
+        let (pb, pt, ab, at) = synthetic(0.0073, 110.0, 830.0, 4);
+        let feat = MaterialFeature::extract(
+            &pb,
+            &pt,
+            &ab,
+            &at,
+            &[0, 1, 2, 3],
+            &FeatureConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(feat.gamma, -1);
+        let expect = 110.0 / 830.0;
+        assert!(
+            (feat.omega_mean() - expect).abs() / expect < 0.05,
+            "omega = {}, expect {expect}",
+            feat.omega_mean()
+        );
+    }
+
+    #[test]
+    fn feature_is_size_independent() {
+        // Two different ΔD (container sizes/positions) must give the same Ω̄.
+        let (pb1, pt1, ab1, at1) = synthetic(0.004, 110.0, 830.0, 4);
+        let (pb2, pt2, ab2, at2) = synthetic(0.009, 110.0, 830.0, 4);
+        let cfg = FeatureConfig::default();
+        let f1 = MaterialFeature::extract(&pb1, &pt1, &ab1, &at1, &[0, 1, 2, 3], &cfg).unwrap();
+        let f2 = MaterialFeature::extract(&pb2, &pt2, &ab2, &at2, &[0, 1, 2, 3], &cfg).unwrap();
+        assert!(
+            (f1.omega_mean() - f2.omega_mean()).abs() / f1.omega_mean() < 0.05,
+            "size leak: {} vs {}",
+            f1.omega_mean(),
+            f2.omega_mean()
+        );
+    }
+
+    #[test]
+    fn negative_delta_d_works() {
+        // Antenna 2's chord longer than antenna 1's: both ΔΘ and ln ΔΨ flip
+        // sign; Ω̄ must come out the same.
+        let (pb, pt, ab, at) = synthetic(-0.006, 110.0, 830.0, 4);
+        let feat = MaterialFeature::extract(
+            &pb,
+            &pt,
+            &ab,
+            &at,
+            &[0, 1, 2, 3],
+            &FeatureConfig::default(),
+        )
+        .unwrap();
+        let expect = 110.0 / 830.0;
+        assert!(
+            (feat.omega_mean() - expect).abs() / expect < 0.05,
+            "omega = {}",
+            feat.omega_mean()
+        );
+        assert!(feat.gamma >= 0);
+    }
+
+    #[test]
+    fn rejects_random_phases_as_inconsistent() {
+        // Uncorrelated phase/amplitude (blocked LoS): no γ can reconcile
+        // the subcarriers.
+        let n = 4;
+        let pb = PhaseDifferenceProfile {
+            pair: (0, 1),
+            mean: vec![0.0; n],
+            variance: vec![0.0; n],
+        };
+        let pt = PhaseDifferenceProfile {
+            pair: (0, 1),
+            mean: vec![2.9, -1.3, 0.4, -2.2],
+            variance: vec![0.0; n],
+        };
+        let ab = AmplitudeRatioProfile {
+            pair: (0, 1),
+            mean: vec![1.0; n],
+            variance: vec![0.0; n],
+        };
+        let at = AmplitudeRatioProfile {
+            pair: (0, 1),
+            mean: vec![0.8, 1.4, 0.7, 1.2],
+            variance: vec![0.0; n],
+        };
+        let cfg = FeatureConfig {
+            gamma_search: 3,
+            max_dispersion: 0.3,
+        };
+        let res = MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg);
+        assert!(matches!(
+            res,
+            Err(FeatureError::NoConsistentFeature { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_degenerate_amplitude() {
+        let (pb, pt, ab, mut at) = synthetic(0.007, 2.8, 65.0, 4);
+        at.mean[2] = 0.0;
+        let res = MaterialFeature::extract(
+            &pb,
+            &pt,
+            &ab,
+            &at,
+            &[0, 1, 2, 3],
+            &FeatureConfig::default(),
+        );
+        assert_eq!(res, Err(FeatureError::DegenerateAmplitude));
+    }
+
+    #[test]
+    fn as_vector_matches_omega() {
+        let (pb, pt, ab, at) = synthetic(0.007, 2.8, 65.0, 3);
+        let feat = MaterialFeature::extract(
+            &pb,
+            &pt,
+            &ab,
+            &at,
+            &[0, 1, 2],
+            &FeatureConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(feat.as_vector(), feat.omega);
+        assert_eq!(feat.as_vector().len(), 3);
+        assert!(feat.dispersion < 0.1);
+    }
+
+    #[test]
+    fn distinguishes_materials() {
+        // Water-like vs oil-like targets must yield clearly different Ω̄.
+        let cfg = FeatureConfig::default();
+        let (pb, pt, ab, at) = synthetic(0.007, 110.0, 830.0, 4);
+        let water =
+            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg).unwrap();
+        let (pb, pt, ab, at) = synthetic(0.007, 2.8, 65.0, 4);
+        let oil = MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg).unwrap();
+        assert!((water.omega_mean() - oil.omega_mean()).abs() > 0.05);
+    }
+}

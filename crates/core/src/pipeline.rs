@@ -1,0 +1,425 @@
+//! The end-to-end WiMi identification pipeline.
+//!
+//! Ties together every stage of the paper's Fig. 5 workflow: data
+//! collection (baseline + target captures), CSI pre-processing (phase
+//! calibration, good-subcarrier selection, amplitude denoising), material
+//! feature extraction (Ω̄), and SVM classification against the material
+//! database.
+
+use crate::amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
+use crate::antenna::PairSelection;
+use crate::database::MaterialDatabase;
+use crate::error::{FeatureError, IdentifyError};
+use crate::feature::{FeatureConfig, MaterialFeature};
+use crate::phase::PhaseDifferenceProfile;
+use crate::subcarrier::SubcarrierSelection;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wimi_ml::dataset::Dataset;
+use wimi_ml::multiclass::MulticlassSvm;
+use wimi_ml::scale::StandardScaler;
+use wimi_ml::svm::SvmParams;
+use wimi_phy::csi::CsiCapture;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WiMiConfig {
+    /// Subcarrier selection strategy (default: best 4 by variance).
+    pub subcarriers: SubcarrierSelection,
+    /// Amplitude cleaning configuration.
+    pub amplitude: AmplitudeConfig,
+    /// Feature extraction (γ search, consistency gate).
+    pub feature: FeatureConfig,
+    /// Antenna pair strategy.
+    pub pairs: PairSelection,
+    /// SVM hyperparameters.
+    pub svm: SvmParams,
+    /// RNG seed for SMO's random second-choice heuristic (training is
+    /// deterministic given this seed).
+    pub train_seed: u64,
+}
+
+impl Default for WiMiConfig {
+    fn default() -> Self {
+        WiMiConfig {
+            subcarriers: SubcarrierSelection::default(),
+            amplitude: AmplitudeConfig::default(),
+            feature: FeatureConfig::default(),
+            pairs: PairSelection::default(),
+            svm: SvmParams::default(),
+            train_seed: 0x5EED,
+        }
+    }
+}
+
+/// One identification outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Identification {
+    /// Predicted material name.
+    pub material: String,
+    /// Predicted label id in the database.
+    pub label: usize,
+    /// The feature the decision was based on.
+    pub feature: MaterialFeature,
+}
+
+/// The WiMi system: feature extractor plus trained classifier.
+///
+/// # Examples
+///
+/// See the crate-level documentation of `wimi-core` for the end-to-end
+/// train/identify flow.
+#[derive(Debug, Clone)]
+pub struct WiMi {
+    config: WiMiConfig,
+    class_names: Vec<String>,
+    scaler: Option<StandardScaler>,
+    model: Option<MulticlassSvm>,
+}
+
+impl WiMi {
+    /// Creates an untrained system.
+    pub fn new(config: WiMiConfig) -> Self {
+        WiMi {
+            config,
+            class_names: Vec::new(),
+            scaler: None,
+            model: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WiMiConfig {
+        &self.config
+    }
+
+    /// Whether [`WiMi::train`] has been called.
+    pub fn is_trained(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Extracts the material feature from a baseline/target capture pair.
+    ///
+    /// Pair handling follows the strategy:
+    ///
+    /// - [`PairSelection::Best`]: features are extracted for *every*
+    ///   antenna pair and the one with the lowest Ω̄ dispersion wins —
+    ///   a stronger version of the paper's §III-F pair selection that
+    ///   judges pairs by the quality of the feature they actually produce.
+    /// - [`PairSelection::Fixed`]: that pair only.
+    /// - [`PairSelection::All`]: every pair must extract successfully; the
+    ///   per-pair Ω̄ vectors are concatenated in ascending pair order so
+    ///   the classifier input keeps a fixed layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureError`] values: empty/mismatched captures, too
+    /// few antennas, degenerate amplitudes, or no physically consistent
+    /// feature (blocked/moving target).
+    pub fn extract_feature(
+        &self,
+        baseline: &CsiCapture,
+        target: &CsiCapture,
+    ) -> Result<MaterialFeature, FeatureError> {
+        if baseline.is_empty() || target.is_empty() {
+            return Err(FeatureError::EmptyCapture);
+        }
+        if baseline.n_antennas() != target.n_antennas()
+            || baseline.n_subcarriers() != target.n_subcarriers()
+        {
+            return Err(FeatureError::DimensionMismatch);
+        }
+        if baseline.n_antennas() < 2 {
+            return Err(FeatureError::NeedTwoAntennas);
+        }
+
+        match &self.config.pairs {
+            PairSelection::Fixed(a, b) => self.extract_for_pair(baseline, target, *a, *b),
+            PairSelection::Best => self.extract_joint(baseline, target),
+            PairSelection::All => {
+                let mut combined: Option<MaterialFeature> = None;
+                for (a, b) in crate::antenna::enumerate_pairs(baseline.n_antennas()) {
+                    let f = self.extract_for_pair(baseline, target, a, b)?;
+                    match &mut combined {
+                        None => combined = Some(f),
+                        Some(c) => {
+                            c.omega.extend(f.omega);
+                            c.dispersion = c.dispersion.max(f.dispersion);
+                        }
+                    }
+                }
+                combined.ok_or(FeatureError::NeedTwoAntennas)
+            }
+        }
+    }
+
+    /// Joint extraction over every antenna pair with cross-pair γ
+    /// resolution (see [`MaterialFeature::extract_joint`]).
+    fn extract_joint(
+        &self,
+        baseline: &CsiCapture,
+        target: &CsiCapture,
+    ) -> Result<MaterialFeature, FeatureError> {
+        let pairs = crate::antenna::enumerate_pairs(baseline.n_antennas());
+        let mut profiles = Vec::with_capacity(pairs.len());
+        for &(a, b) in &pairs {
+            let phase_base = PhaseDifferenceProfile::compute(baseline, a, b);
+            let phase_tar = PhaseDifferenceProfile::compute(target, a, b);
+            let selected = self.config.subcarriers.resolve(&phase_base, &phase_tar);
+            let amp_base = AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude);
+            let amp_tar = AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude);
+            profiles.push((phase_base, phase_tar, amp_base, amp_tar, selected));
+        }
+        let inputs: Vec<crate::feature::PairMeasurement<'_>> = profiles
+            .iter()
+            .map(
+                |(phase_base, phase_tar, amp_base, amp_tar, selected)| {
+                    crate::feature::PairMeasurement {
+                        phase_base,
+                        phase_tar,
+                        amp_base,
+                        amp_tar,
+                        subcarriers: selected,
+                    }
+                },
+            )
+            .collect();
+        MaterialFeature::extract_joint(&inputs, &self.config.feature)
+    }
+
+    fn extract_for_pair(
+        &self,
+        baseline: &CsiCapture,
+        target: &CsiCapture,
+        a: usize,
+        b: usize,
+    ) -> Result<MaterialFeature, FeatureError> {
+        let phase_base = PhaseDifferenceProfile::compute(baseline, a, b);
+        let phase_tar = PhaseDifferenceProfile::compute(target, a, b);
+        let selected = self.config.subcarriers.resolve(&phase_base, &phase_tar);
+        let amp_base = AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude);
+        let amp_tar = AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude);
+        MaterialFeature::extract(
+            &phase_base,
+            &phase_tar,
+            &amp_base,
+            &amp_tar,
+            &selected,
+            &self.config.feature,
+        )
+    }
+
+    /// Trains the SVM on a material database.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the database is empty or holds fewer than two materials.
+    pub fn train(&mut self, database: &MaterialDatabase) {
+        let ds = database.to_dataset();
+        self.train_on_dataset(&ds);
+    }
+
+    /// Trains directly on a prepared dataset (used by the evaluation
+    /// harness to reuse extracted features).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than two populated classes.
+    pub fn train_on_dataset(&mut self, ds: &Dataset) {
+        let scaler = StandardScaler::fit(ds.features());
+        let mut scaled = Dataset::new(ds.class_names().to_vec());
+        for i in 0..ds.len() {
+            let (x, y) = ds.sample(i);
+            scaled.push(scaler.transform_one(x), y);
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.train_seed);
+        let model = MulticlassSvm::train(&scaled, &self.config.svm, &mut rng);
+        self.class_names = ds.class_names().to_vec();
+        self.scaler = Some(scaler);
+        self.model = Some(model);
+    }
+
+    /// Identifies the target material from a baseline/target capture pair.
+    ///
+    /// # Errors
+    ///
+    /// [`IdentifyError::NotTrained`] before [`WiMi::train`];
+    /// [`IdentifyError::Feature`] when extraction fails.
+    pub fn identify(
+        &self,
+        baseline: &CsiCapture,
+        target: &CsiCapture,
+    ) -> Result<Identification, IdentifyError> {
+        let model = self.model.as_ref().ok_or(IdentifyError::NotTrained)?;
+        let scaler = self.scaler.as_ref().ok_or(IdentifyError::NotTrained)?;
+        let feature = self.extract_feature(baseline, target)?;
+        let label = model.predict(&scaler.transform_one(&feature.as_vector()));
+        Ok(Identification {
+            material: self.class_names[label].clone(),
+            label,
+            feature,
+        })
+    }
+
+    /// Classifies an already-extracted feature.
+    ///
+    /// # Errors
+    ///
+    /// [`IdentifyError::NotTrained`] before training.
+    pub fn classify_feature(&self, feature: &MaterialFeature) -> Result<usize, IdentifyError> {
+        let model = self.model.as_ref().ok_or(IdentifyError::NotTrained)?;
+        let scaler = self.scaler.as_ref().ok_or(IdentifyError::NotTrained)?;
+        Ok(model.predict(&scaler.transform_one(&feature.as_vector())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimi_phy::csi::CsiSource;
+    use wimi_phy::material::Liquid;
+    use wimi_phy::scenario::{Scenario, Simulator};
+
+    fn capture_pair(liquid: Liquid, seed: u64, n: usize) -> (CsiCapture, CsiCapture) {
+        capture_pair_at(liquid, seed, n, 1.0)
+    }
+
+    fn capture_pair_at(
+        liquid: Liquid,
+        seed: u64,
+        n: usize,
+        offset_cm: f64,
+    ) -> (CsiCapture, CsiCapture) {
+        let mut builder = Scenario::builder();
+        builder.target_offset(wimi_phy::units::Meters::from_cm(offset_cm));
+        let mut sim = Simulator::new(builder.build(), seed);
+        let baseline = sim.capture(n);
+        sim.set_liquid(Some(liquid.into()));
+        let target = sim.capture(n);
+        (baseline, target)
+    }
+
+    /// Extracts a feature, retrying with fresh captures and a nudged
+    /// beaker when the pipeline reports an ambiguous/inconsistent
+    /// measurement (the operator's "re-seat and re-measure" move).
+    fn extract_with_retry(
+        wimi: &WiMi,
+        liquid: Liquid,
+        seed: u64,
+        n: usize,
+    ) -> Option<MaterialFeature> {
+        for (attempt, &offset_cm) in [1.2, 0.9, 1.5, 1.0, 1.35].iter().enumerate() {
+            let (base, tar) =
+                capture_pair_at(liquid, seed + 1000 * attempt as u64, n, offset_cm);
+            if let Ok(f) = wimi.extract_feature(&base, &tar) {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn extract_feature_produces_finite_omega() {
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let feat = wimi.extract_feature(&base, &tar).expect("feature");
+        assert_eq!(feat.omega.len(), 4);
+        assert!(feat.omega.iter().all(|o| o.is_finite()));
+        assert!(feat.omega_mean().abs() > 1e-3);
+    }
+
+    #[test]
+    fn water_and_oil_features_differ() {
+        let wimi = WiMi::new(WiMiConfig::default());
+        let water = extract_with_retry(&wimi, Liquid::PureWater, 2, 40).expect("water");
+        let oil = extract_with_retry(&wimi, Liquid::Oil, 3, 40).expect("oil");
+        assert!(
+            (water.omega_mean() - oil.omega_mean()).abs() > 0.02,
+            "water {} vs oil {}",
+            water.omega_mean(),
+            oil.omega_mean()
+        );
+    }
+
+    #[test]
+    fn empty_capture_is_rejected() {
+        let wimi = WiMi::new(WiMiConfig::default());
+        let (base, _) = capture_pair(Liquid::Milk, 4, 10);
+        let err = wimi.extract_feature(&base, &CsiCapture::new());
+        assert_eq!(err, Err(FeatureError::EmptyCapture));
+    }
+
+    #[test]
+    fn identify_before_training_fails() {
+        let wimi = WiMi::new(WiMiConfig::default());
+        let (base, tar) = capture_pair(Liquid::Milk, 5, 10);
+        assert_eq!(
+            wimi.identify(&base, &tar),
+            Err(IdentifyError::NotTrained)
+        );
+    }
+
+    #[test]
+    fn train_and_identify_two_liquids() {
+        // Trials whose every placement is refused are dropped, exactly as
+        // the measurement protocol would skip them; the classifier only
+        // needs a handful of good measurements per class.
+        let mut db = MaterialDatabase::new();
+        let wimi_extractor = WiMi::new(WiMiConfig::default());
+        for trial in 0..10 {
+            for &liquid in &[Liquid::PureWater, Liquid::Oil] {
+                if let Some(feat) = extract_with_retry(&wimi_extractor, liquid, 100 + trial, 30) {
+                    db.add(liquid.name(), feat);
+                }
+            }
+        }
+        assert!(db.samples_of("Pure water").len() >= 5, "too few water samples");
+        assert!(db.samples_of("Oil").len() >= 5, "too few oil samples");
+        let mut wimi = WiMi::new(WiMiConfig::default());
+        wimi.train(&db);
+        assert!(wimi.is_trained());
+
+        let mut correct = 0;
+        let mut total = 0;
+        for trial in 0..8 {
+            for &liquid in &[Liquid::PureWater, Liquid::Oil] {
+                if let Some(feat) = extract_with_retry(&wimi, liquid, 900 + trial, 30) {
+                    let label = wimi.classify_feature(&feat).expect("classify");
+                    total += 1;
+                    if db.name(label) == liquid.name() {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(total >= 10, "too many refused test measurements: {total}");
+        assert!(
+            correct as f64 >= 0.9 * total as f64,
+            "water-vs-oil should be nearly perfect: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn all_pairs_concatenates_features() {
+        let mut cfg = WiMiConfig::default();
+        cfg.pairs = PairSelection::All;
+        let wimi = WiMi::new(cfg);
+        let (base, tar) = capture_pair(Liquid::Milk, 6, 40);
+        if let Ok(feat) = wimi.extract_feature(&base, &tar) {
+            // 3 pairs × 4 subcarriers when every pair extracts cleanly;
+            // at minimum the best pair's 4.
+            assert!(feat.omega.len() >= 4);
+            assert_eq!(feat.omega.len() % 4, 0);
+        }
+    }
+
+    #[test]
+    fn config_accessors() {
+        let wimi = WiMi::new(WiMiConfig::default());
+        assert!(!wimi.is_trained());
+        assert_eq!(
+            wimi.config().subcarriers,
+            SubcarrierSelection::BestByVariance(4)
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! "Good" subcarrier selection (paper §III-B, Eq. 7, Fig. 6).
+//!
+//! Frequency diversity means multipath hits some subcarriers harder than
+//! others. Subcarriers whose cross-antenna phase difference has the
+//! smallest variance across packets are the least multipath-contaminated;
+//! WiMi selects the `P` best and uses only those for material sensing
+//! (the paper uses P = 4 and shows subcarriers 5, 20, 23, 24 winning in
+//! its Fig. 6 example).
+
+use crate::phase::PhaseDifferenceProfile;
+
+/// Strategy for choosing which subcarriers feed the material feature.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubcarrierSelection {
+    /// Pick the `P` subcarriers with smallest phase-difference variance
+    /// (the paper's method).
+    BestByVariance(usize),
+    /// Use an explicit fixed set (for the Fig. 13 random-vs-good
+    /// comparison and for ablations).
+    Fixed(Vec<usize>),
+}
+
+impl Default for SubcarrierSelection {
+    fn default() -> Self {
+        SubcarrierSelection::BestByVariance(4)
+    }
+}
+
+impl SubcarrierSelection {
+    /// Resolves the strategy to concrete subcarrier indices (ascending),
+    /// given variance profiles from the baseline and target captures.
+    /// Variances of the two phases of the measurement are summed so a
+    /// subcarrier must be clean in *both* to win.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profiles disagree in length, a fixed index is out of
+    /// range, or the requested count is zero or exceeds the subcarrier
+    /// count.
+    pub fn resolve(
+        &self,
+        baseline: &PhaseDifferenceProfile,
+        target: &PhaseDifferenceProfile,
+    ) -> Vec<usize> {
+        assert_eq!(
+            baseline.len(),
+            target.len(),
+            "profiles must cover the same subcarriers"
+        );
+        let n = baseline.len();
+        match self {
+            SubcarrierSelection::BestByVariance(p) => {
+                assert!(*p > 0, "must select at least one subcarrier");
+                assert!(*p <= n, "cannot select more subcarriers than exist");
+                let mut scored: Vec<(usize, f64)> = (0..n)
+                    .map(|k| (k, baseline.variance[k] + target.variance[k]))
+                    .collect();
+                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite variance"));
+                let mut chosen: Vec<usize> = scored[..*p].iter().map(|&(k, _)| k).collect();
+                chosen.sort_unstable();
+                chosen
+            }
+            SubcarrierSelection::Fixed(set) => {
+                assert!(!set.is_empty(), "must select at least one subcarrier");
+                assert!(
+                    set.iter().all(|&k| k < n),
+                    "fixed subcarrier index out of range"
+                );
+                let mut chosen = set.clone();
+                chosen.sort_unstable();
+                chosen.dedup();
+                chosen
+            }
+        }
+    }
+}
+
+/// Ranks all subcarriers by combined variance, cleanest first (useful for
+/// reporting Fig. 6-style tables).
+pub fn rank_subcarriers(
+    baseline: &PhaseDifferenceProfile,
+    target: &PhaseDifferenceProfile,
+) -> Vec<(usize, f64)> {
+    assert_eq!(
+        baseline.len(),
+        target.len(),
+        "profiles must cover the same subcarriers"
+    );
+    let mut scored: Vec<(usize, f64)> = (0..baseline.len())
+        .map(|k| (k, baseline.variance[k] + target.variance[k]))
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite variance"));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(variances: Vec<f64>) -> PhaseDifferenceProfile {
+        PhaseDifferenceProfile {
+            pair: (0, 1),
+            mean: vec![0.0; variances.len()],
+            variance: variances,
+        }
+    }
+
+    #[test]
+    fn best_by_variance_picks_smallest() {
+        let base = profile(vec![0.5, 0.1, 0.9, 0.05, 0.3]);
+        let tar = profile(vec![0.4, 0.1, 0.8, 0.05, 0.3]);
+        let chosen = SubcarrierSelection::BestByVariance(2).resolve(&base, &tar);
+        assert_eq!(chosen, vec![1, 3]);
+    }
+
+    #[test]
+    fn selection_requires_cleanliness_in_both_captures() {
+        // Subcarrier 0 is clean in baseline but filthy in target → must
+        // lose to subcarrier 2 which is decent in both.
+        let base = profile(vec![0.01, 0.5, 0.10]);
+        let tar = profile(vec![0.90, 0.5, 0.12]);
+        let chosen = SubcarrierSelection::BestByVariance(1).resolve(&base, &tar);
+        assert_eq!(chosen, vec![2]);
+    }
+
+    #[test]
+    fn fixed_selection_passes_through_sorted_dedup() {
+        let base = profile(vec![0.0; 10]);
+        let tar = profile(vec![0.0; 10]);
+        let chosen =
+            SubcarrierSelection::Fixed(vec![7, 2, 7, 5]).resolve(&base, &tar);
+        assert_eq!(chosen, vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn rank_is_total_and_sorted() {
+        let base = profile(vec![0.3, 0.1, 0.2]);
+        let tar = profile(vec![0.0, 0.0, 0.0]);
+        let ranked = rank_subcarriers(&base, &tar);
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].0, 1);
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn default_is_paper_p4() {
+        assert_eq!(
+            SubcarrierSelection::default(),
+            SubcarrierSelection::BestByVariance(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more subcarriers than exist")]
+    fn rejects_oversized_p() {
+        let base = profile(vec![0.0; 3]);
+        let tar = profile(vec![0.0; 3]);
+        let _ = SubcarrierSelection::BestByVariance(4).resolve(&base, &tar);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_fixed_index() {
+        let base = profile(vec![0.0; 3]);
+        let tar = profile(vec![0.0; 3]);
+        let _ = SubcarrierSelection::Fixed(vec![5]).resolve(&base, &tar);
+    }
+}

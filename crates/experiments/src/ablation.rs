@@ -1,0 +1,174 @@
+//! Ablations beyond the paper: design-choice sweeps called out in
+//! DESIGN.md §5.
+
+use crate::accuracy::Effort;
+use crate::harness::{heading, paper_liquids, pct, run_identification, Material, RunOptions};
+use rand::SeedableRng;
+use wimi_core::subcarrier::SubcarrierSelection;
+use wimi_core::WiMiConfig;
+use wimi_dsp::wavelet::{CorrelationDenoiser, Wavelet};
+use wimi_ml::dataset::Dataset;
+use wimi_ml::knn::KnnClassifier;
+use wimi_ml::scale::StandardScaler;
+use wimi_ml::svm::{Kernel, SvmParams};
+use wimi_phy::material::Liquid;
+
+fn subset() -> Vec<Material> {
+    [Liquid::PureWater, Liquid::Milk, Liquid::Honey, Liquid::Oil, Liquid::Soy]
+        .iter()
+        .copied()
+        .map(Material::catalog)
+        .collect()
+}
+
+/// Ablation 1: number of good subcarriers P.
+pub fn ablation_subcarrier_count(effort: Effort) {
+    heading("Ablation", "good-subcarrier count P");
+    for p in [1usize, 2, 4, 6, 8] {
+        let mut config = WiMiConfig::default();
+        config.subcarriers = SubcarrierSelection::BestByVariance(p);
+        let opts = RunOptions {
+            config,
+            n_train: effort.n_train,
+            n_test: effort.n_test,
+            ..RunOptions::default()
+        };
+        let acc = run_identification(&subset(), &opts).accuracy();
+        println!("  P = {p}: accuracy {}", pct(acc));
+    }
+}
+
+/// Ablation 2: wavelet family of the amplitude denoiser.
+pub fn ablation_wavelet_family(effort: Effort) {
+    heading("Ablation", "denoiser wavelet family");
+    for wavelet in Wavelet::ALL {
+        let mut config = WiMiConfig::default();
+        config.amplitude.denoiser = CorrelationDenoiser::new(wavelet, 4);
+        let opts = RunOptions {
+            config,
+            n_train: effort.n_train,
+            n_test: effort.n_test,
+            ..RunOptions::default()
+        };
+        let acc = run_identification(&subset(), &opts).accuracy();
+        println!("  {wavelet}: accuracy {}", pct(acc));
+    }
+}
+
+/// Ablation 3: classifier — SVM kernels vs kNN.
+pub fn ablation_classifier(effort: Effort) {
+    heading("Ablation", "classifier choice (SVM kernels vs kNN)");
+    // SVM variants.
+    for (name, kernel) in [
+        ("SVM rbf γ=0.5", Kernel::Rbf { gamma: 0.5 }),
+        ("SVM rbf γ=2.0", Kernel::Rbf { gamma: 2.0 }),
+        ("SVM linear", Kernel::Linear),
+    ] {
+        let mut config = WiMiConfig::default();
+        config.svm = SvmParams {
+            kernel,
+            ..SvmParams::default()
+        };
+        let opts = RunOptions {
+            config,
+            n_train: effort.n_train,
+            n_test: effort.n_test,
+            ..RunOptions::default()
+        };
+        let acc = run_identification(&subset(), &opts).accuracy();
+        println!("  {name:<14}: accuracy {}", pct(acc));
+    }
+    // kNN baseline on the same features.
+    let materials = subset();
+    let opts = RunOptions {
+        n_train: effort.n_train,
+        n_test: effort.n_test,
+        ..RunOptions::default()
+    };
+    let extractor = wimi_core::WiMi::new(opts.config.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let class_names: Vec<String> = materials.iter().map(|m| m.name.clone()).collect();
+    let mut train = Dataset::new(class_names.clone());
+    for trial in 0..opts.n_train {
+        for (label, m) in materials.iter().enumerate() {
+            let seed = opts.seed + 1_000 + trial as u64 * 131 + label as u64;
+            if let (Some(f), _) = crate::harness::measure(&extractor, &m.spec, &opts, seed, &mut rng) {
+                train.push(f.as_vector(), label);
+            }
+        }
+    }
+    let scaler = StandardScaler::fit(train.features());
+    let mut scaled = Dataset::new(class_names);
+    for i in 0..train.len() {
+        let (x, y) = train.sample(i);
+        scaled.push(scaler.transform_one(x), y);
+    }
+    let knn = KnnClassifier::fit(scaled, 5);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for trial in 0..opts.n_test {
+        for (label, m) in materials.iter().enumerate() {
+            let seed = opts.seed + 900_000 + trial as u64 * 137 + label as u64;
+            if let (Some(f), _) = crate::harness::measure(&extractor, &m.spec, &opts, seed, &mut rng) {
+                total += 1;
+                if knn.predict(&scaler.transform_one(&f.as_vector())) == label {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    println!("  kNN (k = 5)   : accuracy {}", pct(correct as f64 / total.max(1) as f64));
+}
+
+/// Robustness: flowing liquid (paper §VI limitation) — the pipeline should
+/// mostly refuse rather than misclassify.
+pub fn robustness_flowing_liquid() {
+    heading("Robustness", "flowing liquid (paper §VI limitation)");
+    let extractor = wimi_core::WiMi::new(WiMiConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(66);
+    for flow in [0.0, 0.4, 0.8] {
+        let opts = RunOptions {
+            attempts: 1,
+            modify: Box::new(move |b| {
+                b.flow_noise(flow);
+            }),
+            ..RunOptions::default()
+        };
+        let mut refused = 0usize;
+        let total = 12usize;
+        for trial in 0..total as u64 {
+            let (feat, _) = crate::harness::measure(
+                &extractor,
+                &Liquid::Milk.into(),
+                &opts,
+                50_000 + trial,
+                &mut rng,
+            );
+            if feat.is_none() {
+                refused += 1;
+            }
+        }
+        println!("  flow level {flow:.1}: {refused}/{total} measurements refused");
+    }
+}
+
+/// Ten-liquid run in all three environments (paper's headline claim:
+/// ≥95% in all three).
+pub fn environments(effort: Effort) {
+    heading("Environments", "ten liquids in hall / lab / library");
+    for env in wimi_phy::channel::Environment::ALL {
+        let opts = RunOptions {
+            environment: env,
+            n_train: effort.n_train,
+            n_test: effort.n_test,
+            ..RunOptions::default()
+        };
+        let result = run_identification(&paper_liquids(), &opts);
+        println!(
+            "  {:<8}: accuracy {}  (dropped {})",
+            env.name(),
+            pct(result.accuracy()),
+            result.dropped_trials
+        );
+    }
+}

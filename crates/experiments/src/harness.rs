@@ -1,0 +1,252 @@
+//! Shared experiment harness: measurement collection, training/testing,
+//! and per-figure reporting.
+
+use rand::{Rng, SeedableRng};
+use wimi_core::{MaterialFeature, WiMi, WiMiConfig};
+use wimi_phy::channel::Environment;
+use wimi_phy::csi::{CsiCapture, CsiSource};
+use wimi_phy::material::{Liquid, SaltwaterConcentration, LIQUIDS};
+use wimi_phy::scenario::{LiquidSpec, Scenario, ScenarioBuilder, Simulator};
+use wimi_phy::units::Meters;
+use wimi_ml::dataset::Dataset;
+use wimi_ml::metrics::ConfusionMatrix;
+
+/// A material under test: display name plus its dielectric spec.
+#[derive(Debug, Clone)]
+pub struct Material {
+    /// Display name (and class label).
+    pub name: String,
+    /// Dielectric specification.
+    pub spec: LiquidSpec,
+}
+
+impl Material {
+    /// Wraps a catalog liquid.
+    pub fn catalog(liquid: Liquid) -> Self {
+        Material {
+            name: liquid.name().to_owned(),
+            spec: liquid.into(),
+        }
+    }
+
+    /// Wraps a saltwater concentration under a short label.
+    pub fn saltwater(label: &str, c: SaltwaterConcentration) -> Self {
+        Material {
+            name: label.to_owned(),
+            spec: LiquidSpec::saltwater(c),
+        }
+    }
+}
+
+/// The paper's ten-liquid set (Fig. 15).
+pub fn paper_liquids() -> Vec<Material> {
+    LIQUIDS.iter().copied().map(Material::catalog).collect()
+}
+
+/// Options of one identification run.
+pub struct RunOptions {
+    /// Deployment environment.
+    pub environment: Environment,
+    /// Packets per capture (the paper's default is 20).
+    pub packets: usize,
+    /// Training measurements per material.
+    pub n_train: usize,
+    /// Test measurements per material.
+    pub n_test: usize,
+    /// Base RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+    /// Pipeline configuration.
+    pub config: WiMiConfig,
+    /// Extra scenario customisation applied after the defaults.
+    pub modify: Box<dyn Fn(&mut ScenarioBuilder)>,
+    /// Measurement attempts before giving up on a trial (the operator
+    /// re-seats the beaker when the pipeline flags a bad measurement).
+    pub attempts: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            environment: Environment::Lab,
+            packets: 20,
+            n_train: 20,
+            n_test: 20,
+            seed: 0xACC0,
+            config: WiMiConfig::default(),
+            modify: Box::new(|_| {}),
+            attempts: 4,
+        }
+    }
+}
+
+/// Result of an identification run.
+pub struct RunResult {
+    /// Pooled test confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Trials (train + test) whose every measurement attempt failed.
+    pub dropped_trials: usize,
+    /// Total measurement attempts that were rejected by the pipeline.
+    pub rejected_measurements: usize,
+}
+
+impl RunResult {
+    /// Overall test accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+}
+
+/// One baseline/target capture pair at a given placement.
+pub fn capture_pair(
+    spec: &LiquidSpec,
+    environment: Environment,
+    packets: usize,
+    seed: u64,
+    offset_cm: f64,
+    modify: &dyn Fn(&mut ScenarioBuilder),
+) -> (CsiCapture, CsiCapture, Scenario) {
+    let mut builder = Scenario::builder();
+    builder.environment(environment);
+    builder.target_offset(Meters::from_cm(offset_cm));
+    modify(&mut builder);
+    let scenario = builder.build();
+    let mut sim = Simulator::new(scenario.clone(), seed);
+    let baseline = sim.capture(packets);
+    sim.set_liquid(Some(spec.clone()));
+    let target = sim.capture(packets);
+    (baseline, target, scenario)
+}
+
+/// Measures one material with the re-seat-and-retry protocol. Returns the
+/// feature and the number of rejected attempts.
+pub fn measure(
+    extractor: &WiMi,
+    spec: &LiquidSpec,
+    opts: &RunOptions,
+    seed: u64,
+    rng: &mut rand::rngs::StdRng,
+) -> (Option<MaterialFeature>, usize) {
+    let mut rejected = 0;
+    for attempt in 0..opts.attempts {
+        let offset_cm = 1.0 + rng.gen_range(-0.5..0.5);
+        let (base, tar, _) = capture_pair(
+            spec,
+            opts.environment,
+            opts.packets,
+            seed.wrapping_mul(31).wrapping_add(attempt as u64 * 7919),
+            offset_cm,
+            opts.modify.as_ref(),
+        );
+        match extractor.extract_feature(&base, &tar) {
+            Ok(f) => return (Some(f), rejected),
+            Err(_) => rejected += 1,
+        }
+    }
+    (None, rejected)
+}
+
+/// Runs a full train/test identification experiment.
+pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResult {
+    let extractor = WiMi::new(opts.config.clone());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let class_names: Vec<String> = materials.iter().map(|m| m.name.clone()).collect();
+
+    let mut dropped = 0usize;
+    let mut rejected = 0usize;
+
+    // Training set.
+    let mut train = Dataset::new(class_names.clone());
+    for trial in 0..opts.n_train {
+        for (label, m) in materials.iter().enumerate() {
+            let seed = opts.seed + 1_000 + trial as u64 * 131 + label as u64;
+            let (feat, rej) = measure(&extractor, &m.spec, opts, seed, &mut rng);
+            rejected += rej;
+            match feat {
+                Some(f) => train.push(f.as_vector(), label),
+                None => dropped += 1,
+            }
+        }
+    }
+
+    let mut wimi = WiMi::new(opts.config.clone());
+    wimi.train_on_dataset(&train);
+
+    // Test set.
+    let mut truth = Vec::new();
+    let mut pred = Vec::new();
+    for trial in 0..opts.n_test {
+        for (label, m) in materials.iter().enumerate() {
+            let seed = opts.seed + 900_000 + trial as u64 * 137 + label as u64;
+            let (feat, rej) = measure(&extractor, &m.spec, opts, seed, &mut rng);
+            rejected += rej;
+            match feat {
+                Some(f) => {
+                    let p = wimi.classify_feature(&f).expect("trained");
+                    truth.push(label);
+                    pred.push(p);
+                }
+                None => dropped += 1,
+            }
+        }
+    }
+
+    RunResult {
+        confusion: ConfusionMatrix::from_predictions(&truth, &pred, &class_names),
+        dropped_trials: dropped,
+        rejected_measurements: rejected,
+    }
+}
+
+/// Formats a percentage for report rows.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Prints a report header for one figure.
+pub fn heading(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title}");
+    println!("{}", "-".repeat(64));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_liquids_has_ten() {
+        let mats = paper_liquids();
+        assert_eq!(mats.len(), 10);
+        assert_eq!(mats[0].name, "Vinegar");
+    }
+
+    #[test]
+    fn capture_pair_produces_consistent_captures() {
+        let mat = Material::catalog(Liquid::Milk);
+        let (base, tar, scenario) =
+            capture_pair(&mat.spec, Environment::Lab, 5, 1, 1.0, &|_| {});
+        assert_eq!(base.len(), 5);
+        assert_eq!(tar.len(), 5);
+        assert_eq!(base.n_antennas(), scenario.n_antennas());
+    }
+
+    #[test]
+    fn small_run_identification_works() {
+        let materials = vec![
+            Material::catalog(Liquid::PureWater),
+            Material::catalog(Liquid::Honey),
+        ];
+        let opts = RunOptions {
+            n_train: 6,
+            n_test: 4,
+            ..RunOptions::default()
+        };
+        let result = run_identification(&materials, &opts);
+        // Water vs honey is an easy pair; expect high accuracy.
+        assert!(
+            result.accuracy() > 0.8,
+            "accuracy = {}",
+            result.accuracy()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! CLI entry point: `cargo run -p wimi-experiments --release -- all`.
+
+use wimi_experiments::{run_named, Effort, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let effort = if quick { Effort::quick() } else { Effort::full() };
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if names.is_empty() || names == ["help"] {
+        eprintln!("usage: wimi-experiments [--quick] all | environments | <name>...");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+
+    let started = std::time::Instant::now();
+    if names == ["all"] {
+        for name in ALL_EXPERIMENTS {
+            assert!(run_named(name, effort), "unknown experiment {name}");
+        }
+        assert!(run_named("environments", effort));
+    } else {
+        for name in &names {
+            if !run_named(name, effort) {
+                eprintln!("unknown experiment: {name}");
+                eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("\ncompleted in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,186 @@
+//! Outlier rejection for amplitude series.
+//!
+//! The paper's first amplitude-denoising step (§III-C) keeps samples inside
+//! `[μ − 3σ, μ + 3σ]` and discards the rest. To keep series lengths stable
+//! for the downstream wavelet stage, rejected samples are replaced by
+//! linear interpolation of their surviving neighbours. A Hampel filter is
+//! provided as a robust windowed alternative (used in ablations).
+
+use crate::stats::{mean, median, std_dev};
+
+/// Marks samples outside `μ ± k·σ`. Returns a keep-mask.
+pub fn sigma_mask(xs: &[f64], k: f64) -> Vec<bool> {
+    assert!(k > 0.0, "sigma multiplier must be positive");
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    xs.iter().map(|&x| (x - m).abs() <= k * s).collect()
+}
+
+/// The paper's 3σ outlier rule: samples outside `[μ−3σ, μ+3σ]` are
+/// replaced by linear interpolation between the nearest kept neighbours
+/// (edge outliers take the nearest kept value).
+///
+/// # Examples
+///
+/// ```
+/// use wimi_dsp::outlier::reject_outliers_3sigma;
+/// let mut xs = vec![1.0, 1.02, 0.98, 9.0, 1.01, 0.99, 1.0, 1.02, 0.98, 1.01, 1.0, 0.99];
+/// let cleaned = reject_outliers_3sigma(&xs);
+/// assert!(cleaned[3] < 1.5);
+/// ```
+pub fn reject_outliers_3sigma(xs: &[f64]) -> Vec<f64> {
+    reject_outliers(xs, 3.0)
+}
+
+/// Generalised σ-rule outlier rejection with interpolation repair.
+///
+/// # Panics
+///
+/// Panics if `k` is not positive.
+pub fn reject_outliers(xs: &[f64], k: f64) -> Vec<f64> {
+    let mask = sigma_mask(xs, k);
+    interpolate_masked(xs, &mask)
+}
+
+/// Replaces masked-out (`false`) samples by linear interpolation between
+/// the nearest `true` neighbours. If everything is masked out, the input
+/// is returned unchanged (there is nothing to anchor a repair on).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn interpolate_masked(xs: &[f64], keep: &[bool]) -> Vec<f64> {
+    assert_eq!(xs.len(), keep.len(), "mask length must match data length");
+    if xs.is_empty() || keep.iter().all(|&k| !k) {
+        return xs.to_vec();
+    }
+    let n = xs.len();
+    let mut out = xs.to_vec();
+
+    let kept: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+    for i in 0..n {
+        if keep[i] {
+            continue;
+        }
+        // Nearest kept neighbour on each side.
+        let left = kept.iter().rev().find(|&&j| j < i).copied();
+        let right = kept.iter().find(|&&j| j > i).copied();
+        out[i] = match (left, right) {
+            (Some(l), Some(r)) => {
+                let t = (i - l) as f64 / (r - l) as f64;
+                xs[l] + t * (xs[r] - xs[l])
+            }
+            (Some(l), None) => xs[l],
+            (None, Some(r)) => xs[r],
+            (None, None) => xs[i],
+        };
+    }
+    out
+}
+
+/// Hampel filter: windowed median/MAD outlier repair. Each sample farther
+/// than `k` scaled MADs from the window median is replaced by that median.
+///
+/// # Panics
+///
+/// Panics if `half_window` is zero or `k` is not positive.
+pub fn hampel_filter(xs: &[f64], half_window: usize, k: f64) -> Vec<f64> {
+    assert!(half_window > 0, "half window must be positive");
+    assert!(k > 0.0, "threshold multiplier must be positive");
+    let n = xs.len();
+    let mut out = xs.to_vec();
+    for i in 0..n {
+        let lo = i.saturating_sub(half_window);
+        let hi = (i + half_window + 1).min(n);
+        let window = &xs[lo..hi];
+        let med = median(window);
+        let scaled_mad = 1.4826 * median(&window.iter().map(|x| (x - med).abs()).collect::<Vec<_>>());
+        if scaled_mad > 0.0 && (xs[i] - med).abs() > k * scaled_mad {
+            out[i] = med;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with_outlier() -> Vec<f64> {
+        let mut xs: Vec<f64> = (0..50).map(|i| 1.0 + 0.01 * ((i as f64) * 0.3).sin()).collect();
+        xs[20] = 10.0;
+        xs
+    }
+
+    #[test]
+    fn sigma_mask_flags_the_spike() {
+        let xs = series_with_outlier();
+        let mask = sigma_mask(&xs, 3.0);
+        assert!(!mask[20]);
+        assert_eq!(mask.iter().filter(|&&m| !m).count(), 1);
+    }
+
+    #[test]
+    fn rejection_repairs_by_interpolation() {
+        let xs = series_with_outlier();
+        let cleaned = reject_outliers_3sigma(&xs);
+        assert!((cleaned[20] - 1.0).abs() < 0.05);
+        // Non-outliers untouched.
+        assert_eq!(cleaned[0], xs[0]);
+        assert_eq!(cleaned[49], xs[49]);
+    }
+
+    #[test]
+    fn edge_outliers_take_nearest_value() {
+        let xs = vec![100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let cleaned = reject_outliers(&xs, 1.5);
+        assert_eq!(cleaned[0], 1.0);
+    }
+
+    #[test]
+    fn interpolate_masked_linear_ramp() {
+        let xs = vec![0.0, 99.0, 99.0, 3.0];
+        let keep = vec![true, false, false, true];
+        let out = interpolate_masked(&xs, &keep);
+        assert!((out[1] - 1.0).abs() < 1e-12);
+        assert!((out[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_masked_returns_input() {
+        let xs = vec![1.0, 2.0];
+        let out = interpolate_masked(&xs, &[false, false]);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(reject_outliers_3sigma(&[]).is_empty());
+        assert!(sigma_mask(&[], 3.0).is_empty());
+    }
+
+    #[test]
+    fn hampel_repairs_spike_without_touching_trend() {
+        let mut xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        xs[15] = 50.0;
+        let out = hampel_filter(&xs, 3, 3.0);
+        assert!((out[15] - 1.5).abs() < 0.3, "repaired to {}", out[15]);
+        assert!((out[10] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hampel_leaves_clean_series_unchanged() {
+        let xs: Vec<f64> = (0..30).map(|i| (i as f64 * 0.2).sin()).collect();
+        let out = hampel_filter(&xs, 4, 5.0);
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length")]
+    fn interpolate_rejects_mismatched_mask() {
+        let _ = interpolate_masked(&[1.0, 2.0], &[true]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Descriptive and circular statistics.
+//!
+//! Phase data lives on the circle, so the WiMi pipeline needs circular
+//! moments (mean direction, circular variance) alongside ordinary linear
+//! statistics; both live here.
+
+/// Arithmetic mean. Returns `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns `NaN` for an empty slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (divides by `n − 1`). Returns `NaN` for slices with
+/// fewer than two elements.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root mean square.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Median (interpolated for even lengths). Returns `NaN` for an empty
+/// slice. `O(n log n)`.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation (unscaled).
+pub fn mad(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let med = median(xs);
+    let dev: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&dev)
+}
+
+/// Robust standard-deviation estimate from the MAD of `xs`:
+/// `σ̂ = MAD / 0.6745` (consistent for Gaussian data). This is the robust
+/// median estimator the paper's wavelet denoiser uses for its noise
+/// threshold (citing Xu et al. 1994).
+pub fn robust_std(xs: &[f64]) -> f64 {
+    mad(xs) / 0.6745
+}
+
+/// Linear Pearson correlation of two equal-length series.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are below 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series must have equal length");
+    assert!(xs.len() >= 2, "correlation needs at least two points");
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut dx2 = 0.0;
+    let mut dy2 = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx2 += (x - mx) * (x - mx);
+        dy2 += (y - my) * (y - my);
+    }
+    num / (dx2 * dy2).sqrt()
+}
+
+/// Wraps an angle to `(−π, π]`.
+pub fn wrap_to_pi(theta: f64) -> f64 {
+    let tau = std::f64::consts::TAU;
+    let mut t = theta % tau;
+    if t > std::f64::consts::PI {
+        t -= tau;
+    } else if t <= -std::f64::consts::PI {
+        t += tau;
+    }
+    t
+}
+
+/// Mean resultant length `R ∈ [0, 1]` of a set of angles: 1 for perfectly
+/// aligned angles, ~0 for uniformly spread ones.
+pub fn circular_resultant(angles: &[f64]) -> f64 {
+    if angles.is_empty() {
+        return f64::NAN;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    (s * s + c * c).sqrt() / angles.len() as f64
+}
+
+/// Circular mean direction in `(−π, π]`.
+pub fn circular_mean(angles: &[f64]) -> f64 {
+    if angles.is_empty() {
+        return f64::NAN;
+    }
+    let (s, c) = angles
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+    s.atan2(c)
+}
+
+/// Circular variance `1 − R ∈ [0, 1]`.
+pub fn circular_variance(angles: &[f64]) -> f64 {
+    1.0 - circular_resultant(angles)
+}
+
+/// Circular standard deviation `√(−2·ln R)` (radians).
+pub fn circular_std(angles: &[f64]) -> f64 {
+    let r = circular_resultant(angles).max(1e-300);
+    (-2.0 * r.ln()).sqrt()
+}
+
+/// Angular spread in degrees: the circular std dev expressed in degrees,
+/// the unit the paper quotes ("around 18 degrees", Fig. 12).
+pub fn angular_spread_deg(angles: &[f64]) -> f64 {
+    circular_std(angles).to_degrees()
+}
+
+/// Robust circular mean: computes the circular mean, drops the
+/// `trim_fraction` of samples most deviant from it (impulse-noise hits),
+/// and recomputes on the survivors.
+///
+/// # Panics
+///
+/// Panics if `trim_fraction` is not within `[0, 0.5]`.
+pub fn trimmed_circular_mean(angles: &[f64], trim_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=0.5).contains(&trim_fraction),
+        "trim fraction must be within [0, 0.5]"
+    );
+    if angles.is_empty() {
+        return f64::NAN;
+    }
+    let first = circular_mean(angles);
+    let n_drop = ((angles.len() as f64) * trim_fraction).floor() as usize;
+    if n_drop == 0 || angles.len() - n_drop < 2 {
+        return first;
+    }
+    let mut dev: Vec<(f64, f64)> = angles
+        .iter()
+        .map(|&a| (wrap_to_pi(a - first).abs(), a))
+        .collect();
+    dev.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite deviation"));
+    let kept: Vec<f64> = dev[..angles.len() - n_drop].iter().map(|&(_, a)| a).collect();
+    circular_mean(&kept)
+}
+
+/// Variance of phase readings computed the paper's way (Eq. 7): linear
+/// variance of the angle series after referencing each angle to the
+/// circular mean (so wrap-around does not inflate it).
+pub fn phase_variance(angles: &[f64]) -> f64 {
+    if angles.is_empty() {
+        return f64::NAN;
+    }
+    let m = circular_mean(angles);
+    let centered: Vec<f64> = angles.iter().map(|&a| wrap_to_pi(a - m)).collect();
+    centered.iter().map(|d| d * d).sum::<f64>() / centered.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 5.0 / 3.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_nan() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+        assert!(median(&[]).is_nan());
+        assert!(mad(&[]).is_nan());
+        assert!(circular_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        let clean = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let dirty = [1.0, 1.1, 0.9, 1.05, 100.0];
+        assert!((mad(&clean) - mad(&dirty)).abs() < 0.2);
+    }
+
+    #[test]
+    fn robust_std_matches_gaussian_scale() {
+        // Approximate Gaussian samples via the central limit theorem (sum
+        // of 12 uniforms, variance 1): MAD/0.6745 must track the std dev.
+        let mut state: u64 = 12345;
+        let mut uniform = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as f64 / u64::MAX as f64
+        };
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| (0..12).map(|_| uniform()).sum::<f64>() - 6.0)
+            .collect();
+        let ratio = robust_std(&xs) / std_dev(&xs);
+        assert!(ratio > 0.9 && ratio < 1.1, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn pearson_limits() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pearson_rejects_mismatched() {
+        let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn wrapping() {
+        assert!((wrap_to_pi(3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_to_pi(-3.0 * PI) - PI).abs() < 1e-12);
+        assert!((wrap_to_pi(0.5) - 0.5).abs() < 1e-15);
+        assert!(wrap_to_pi(PI + 0.1) < 0.0);
+    }
+
+    #[test]
+    fn circular_stats_on_concentrated_angles() {
+        let angles = [0.1, 0.12, 0.09, 0.11];
+        assert!(circular_resultant(&angles) > 0.999);
+        assert!((circular_mean(&angles) - 0.105).abs() < 0.01);
+        assert!(circular_variance(&angles) < 0.001);
+        assert!(angular_spread_deg(&angles) < 2.0);
+    }
+
+    #[test]
+    fn circular_stats_on_uniform_angles() {
+        let angles: Vec<f64> = (0..36).map(|k| k as f64 * PI / 18.0).collect();
+        assert!(circular_resultant(&angles) < 1e-10);
+        assert!(circular_variance(&angles) > 0.999);
+    }
+
+    #[test]
+    fn circular_mean_handles_wraparound() {
+        // Angles clustered around ±π: linear mean would say ~0, circular
+        // mean must say ~π.
+        let angles = [PI - 0.05, -PI + 0.05, PI - 0.02, -PI + 0.02];
+        let m = circular_mean(&angles);
+        assert!(m.abs() > 3.0, "mean = {m}");
+    }
+
+    #[test]
+    fn phase_variance_is_wrap_safe() {
+        let wrapped = [PI - 0.01, -PI + 0.01, PI - 0.02, -PI + 0.02];
+        // Near-identical directions → tiny variance despite ±π values.
+        assert!(phase_variance(&wrapped) < 1e-3);
+        let spread = [0.0, 1.0, 2.0, 3.0];
+        assert!(phase_variance(&spread) > 0.5);
+    }
+
+    #[test]
+    fn angular_spread_deg_for_18_degree_cluster() {
+        // A cluster with ~18° spread, as the paper's Fig. 12 reports after
+        // phase differencing.
+        let sigma = 18f64.to_radians();
+        let angles: Vec<f64> = (0..200)
+            .map(|i| sigma * ((i as f64 * 0.7).sin()))
+            .collect();
+        let spread = angular_spread_deg(&angles);
+        assert!(spread > 8.0 && spread < 25.0, "spread = {spread}");
+    }
+}

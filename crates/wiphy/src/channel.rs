@@ -1,0 +1,458 @@
+//! Indoor multipath channel model.
+//!
+//! Each deployment environment (empty hall / lab / library, paper §IV) is a
+//! set of static scatterers scattered around the link plus a LoS ray. Every
+//! scatterer contributes a delayed, attenuated copy of the signal whose
+//! phase depends on the actual tx→scatterer→rx path length — so different
+//! receive antennas and different subcarriers see different multipath sums,
+//! which is exactly the frequency diversity WiMi's "good subcarrier"
+//! selection exploits (paper Fig. 6).
+//!
+//! Scatterers also jitter slightly from packet to packet (people moving,
+//! fans, door reflections), which is what turns subcarrier-dependent
+//! multipath into subcarrier-dependent phase-difference *variance*.
+
+use crate::complex::Complex;
+use crate::geometry::Point;
+use crate::units::Hertz;
+use rand::Rng;
+use rand_distr_shim::StandardNormalShim;
+
+/// Deployment environments of the paper, ordered by multipath richness.
+///
+/// Multipath is modelled as two scatterer populations: a **static** one
+/// (walls, furniture — frequency-selective, biases both captures the same
+/// way) and a **dynamic** one (people, fans, swinging doors — its phase
+/// churns from packet to packet, so averaging over packets suppresses it;
+/// this is exactly why the paper's accuracy grows with packet count,
+/// Fig. 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// Empty hall: low multipath.
+    EmptyHall,
+    /// Laboratory/office: medium multipath.
+    Lab,
+    /// Library: high multipath.
+    Library,
+}
+
+impl Environment {
+    /// All three environments in increasing multipath order.
+    pub const ALL: [Environment; 3] = [Environment::EmptyHall, Environment::Lab, Environment::Library];
+
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Environment::EmptyHall => "Hall",
+            Environment::Lab => "Lab",
+            Environment::Library => "Library",
+        }
+    }
+
+    /// Tunable multipath profile for this environment.
+    pub fn profile(self) -> EnvironmentProfile {
+        match self {
+            Environment::EmptyHall => EnvironmentProfile {
+                n_static: 3,
+                static_to_los_db: -52.0,
+                n_dynamic: 3,
+                dynamic_to_los_db: -40.0,
+                phase_jitter_std: 2.0,
+                gain_jitter_std: 0.10,
+            },
+            Environment::Lab => EnvironmentProfile {
+                n_static: 6,
+                static_to_los_db: -48.0,
+                n_dynamic: 6,
+                dynamic_to_los_db: -36.0,
+                phase_jitter_std: 2.2,
+                gain_jitter_std: 0.15,
+            },
+            Environment::Library => EnvironmentProfile {
+                n_static: 10,
+                static_to_los_db: -44.0,
+                n_dynamic: 10,
+                dynamic_to_los_db: -31.0,
+                phase_jitter_std: 2.4,
+                gain_jitter_std: 0.20,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Environment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Numeric multipath parameters of an [`Environment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvironmentProfile {
+    /// Number of static scatterers (furniture, walls).
+    pub n_static: usize,
+    /// Total static-scatterer power relative to the LoS, dB.
+    pub static_to_los_db: f64,
+    /// Number of dynamic scatterers (people, fans).
+    pub n_dynamic: usize,
+    /// Total dynamic-scatterer power relative to the LoS, dB.
+    pub dynamic_to_los_db: f64,
+    /// Per-packet phase jitter of each *dynamic* scatterer, radians (std
+    /// dev). Values ≳ 2 rad make the dynamic population nearly zero-mean,
+    /// so packet averaging suppresses it.
+    pub phase_jitter_std: f64,
+    /// Per-packet fractional gain jitter of each dynamic scatterer.
+    pub gain_jitter_std: f64,
+}
+
+/// A single point scatterer: position, complex gain, and mobility class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scatterer {
+    /// Position in the deployment plane.
+    pub position: Point,
+    /// Static complex gain (relative to a unit-amplitude LoS).
+    pub gain: Complex,
+    /// Whether this scatterer jitters per packet.
+    pub dynamic: bool,
+}
+
+/// A realised multipath channel: a fixed scatterer constellation for one
+/// deployment, plus the jitter parameters that animate it per packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipathChannel {
+    scatterers: Vec<Scatterer>,
+    phase_jitter_std: f64,
+    gain_jitter_std: f64,
+}
+
+/// Per-packet multipath state: one complex jitter multiplier per scatterer.
+///
+/// Drawn once per packet and shared by every antenna and subcarrier of that
+/// packet, as physical scatterer motion would be.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketJitter {
+    multipliers: Vec<Complex>,
+}
+
+impl MultipathChannel {
+    /// Realises a channel for an environment around a link from `tx` to the
+    /// neighbourhood of `rx_center`, using `rng` for scatterer placement.
+    ///
+    /// Scatterers are placed uniformly in a rectangle extending 2 m beyond
+    /// the link on each side, excluding a 30 cm corridor around the LoS so
+    /// the direct path stays distinct.
+    pub fn realize<R: Rng + ?Sized>(
+        env: Environment,
+        tx: Point,
+        rx_center: Point,
+        rng: &mut R,
+    ) -> Self {
+        let prof = env.profile();
+        let min_x = tx.x.min(rx_center.x) - 2.0;
+        let max_x = tx.x.max(rx_center.x) + 2.0;
+        let span_y = 2.5;
+
+        let total = prof.n_static + prof.n_dynamic;
+        let mut scatterers = Vec::with_capacity(total);
+        while scatterers.len() < total {
+            let dynamic = scatterers.len() >= prof.n_static;
+            // Dynamic power is heterogeneous: the first dynamic scatterer
+            // (the person walking closest to the link) dominates, the rest
+            // taper geometrically. This makes the per-subcarrier phase
+            // variance frequency-selective — the structure good-subcarrier
+            // selection exploits (paper Fig. 6).
+            let per_amp = if dynamic {
+                let idx = scatterers.len() - prof.n_static;
+                let total_amp = 10f64.powf(prof.dynamic_to_los_db / 20.0);
+                let weight: f64 = 0.5f64.powi(idx as i32);
+                let norm: f64 = (0..prof.n_dynamic)
+                    .map(|i| 0.25f64.powi(i as i32))
+                    .sum::<f64>()
+                    .sqrt();
+                total_amp * weight / norm
+            } else {
+                10f64.powf(prof.static_to_los_db / 20.0) / (prof.n_static as f64).sqrt()
+            };
+            let x: f64 = rng.gen_range(min_x..max_x);
+            let y: f64 = rng.gen_range(-span_y..span_y);
+            // Keep scatterers off the LoS corridor.
+            if y.abs() < 0.3 {
+                continue;
+            }
+            // Rayleigh-like gain: complex Gaussian around the target power.
+            let g = Complex::new(
+                per_amp * rng.sample(StandardNormalShim) / std::f64::consts::SQRT_2,
+                per_amp * rng.sample(StandardNormalShim) / std::f64::consts::SQRT_2,
+            );
+            scatterers.push(Scatterer {
+                position: Point::new(x, y),
+                gain: g,
+                dynamic,
+            });
+        }
+        MultipathChannel {
+            scatterers,
+            phase_jitter_std: prof.phase_jitter_std,
+            gain_jitter_std: prof.gain_jitter_std,
+        }
+    }
+
+    /// The realised scatterers.
+    pub fn scatterers(&self) -> &[Scatterer] {
+        &self.scatterers
+    }
+
+    /// Draws the per-packet jitter state: static scatterers stay put,
+    /// dynamic ones get a fresh phase/gain perturbation.
+    pub fn draw_jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> PacketJitter {
+        let multipliers = self
+            .scatterers
+            .iter()
+            .map(|s| {
+                if !s.dynamic {
+                    return Complex::ONE;
+                }
+                let g: f64 = 1.0 + self.gain_jitter_std * rng.sample(StandardNormalShim);
+                let p: f64 = self.phase_jitter_std * rng.sample(StandardNormalShim);
+                Complex::from_polar(g.max(0.0), p)
+            })
+            .collect();
+        PacketJitter { multipliers }
+    }
+
+    /// A jitter state that leaves the channel static (for deterministic tests).
+    pub fn frozen_jitter(&self) -> PacketJitter {
+        PacketJitter {
+            multipliers: vec![Complex::ONE; self.scatterers.len()],
+        }
+    }
+
+    /// Sum of all scatterer contributions at one receive antenna and
+    /// frequency, given this packet's jitter and a per-scatterer extra
+    /// multiplier (e.g. through-target insertion on the scattered path).
+    ///
+    /// The phase of each path is `−β₀·(d_tx→s + d_s→rx)` with `β₀ = ω/c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` was drawn from a channel with a different number
+    /// of scatterers, or if `extra` (when `Some`) has the wrong length.
+    pub fn response(
+        &self,
+        tx: Point,
+        rx: Point,
+        f: Hertz,
+        jitter: &PacketJitter,
+        extra: Option<&[Complex]>,
+    ) -> Complex {
+        assert_eq!(
+            jitter.multipliers.len(),
+            self.scatterers.len(),
+            "jitter state does not match this channel"
+        );
+        if let Some(extra) = extra {
+            assert_eq!(
+                extra.len(),
+                self.scatterers.len(),
+                "extra multipliers must be per-scatterer"
+            );
+        }
+        let beta0 = f.angular() / crate::constants::SPEED_OF_LIGHT;
+        self.scatterers
+            .iter()
+            .enumerate()
+            .map(|(n, s)| {
+                let d = tx.distance_to(s.position).value() + s.position.distance_to(rx).value();
+                let mut h = s.gain * Complex::cis(-beta0 * d) * jitter.multipliers[n];
+                if let Some(extra) = extra {
+                    h *= extra[n];
+                }
+                h
+            })
+            .sum()
+    }
+}
+
+/// Free-space LoS response (unit amplitude at the reference distance):
+/// `e^{−jβ₀·d}·(d_ref/d)` so amplitude is normalised to 1 at `d = d_ref`.
+pub fn los_response(tx: Point, rx: Point, f: Hertz, d_ref: f64) -> Complex {
+    let d = tx.distance_to(rx).value();
+    let beta0 = f.angular() / crate::constants::SPEED_OF_LIGHT;
+    Complex::cis(-beta0 * d) * (d_ref / d)
+}
+
+/// Internal shim: sample a standard normal via Box–Muller so we only depend
+/// on `rand`'s uniform sampling (`rand_distr` is not in the approved set).
+mod rand_distr_shim {
+    use rand::distributions::Distribution;
+    use rand::Rng;
+
+    /// Standard normal distribution N(0, 1).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct StandardNormalShim;
+
+    impl Distribution<f64> for StandardNormalShim {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // Box–Muller transform on two uniforms in (0, 1].
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen::<f64>();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        }
+    }
+}
+
+pub use rand_distr_shim::StandardNormalShim as StandardNormal;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const F: Hertz = Hertz(5.24e9);
+
+    fn link() -> (Point, Point) {
+        (Point::new(0.0, 0.0), Point::new(2.0, 0.0))
+    }
+
+    #[test]
+    fn environments_order_by_richness() {
+        let dynamic: Vec<f64> = Environment::ALL
+            .iter()
+            .map(|e| e.profile().dynamic_to_los_db)
+            .collect();
+        assert!(dynamic[0] < dynamic[1] && dynamic[1] < dynamic[2]);
+        let static_db: Vec<f64> = Environment::ALL
+            .iter()
+            .map(|e| e.profile().static_to_los_db)
+            .collect();
+        assert!(static_db[0] < static_db[1] && static_db[1] < static_db[2]);
+        let counts: Vec<usize> = Environment::ALL
+            .iter()
+            .map(|e| e.profile().n_static + e.profile().n_dynamic)
+            .collect();
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+    }
+
+    #[test]
+    fn realize_places_requested_scatterers_off_los() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ch = MultipathChannel::realize(Environment::Library, tx, rx, &mut rng);
+        let prof = Environment::Library.profile();
+        assert_eq!(ch.scatterers().len(), prof.n_static + prof.n_dynamic);
+        assert_eq!(
+            ch.scatterers().iter().filter(|s| s.dynamic).count(),
+            prof.n_dynamic
+        );
+        for s in ch.scatterers() {
+            assert!(s.position.y.abs() >= 0.3, "scatterer on the LoS corridor");
+        }
+    }
+
+    #[test]
+    fn static_scatterers_never_jitter() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(11);
+        let ch = MultipathChannel::realize(Environment::Lab, tx, rx, &mut rng);
+        let j = ch.draw_jitter(&mut rng);
+        for (s, m) in ch.scatterers().iter().zip(&j.multipliers) {
+            if !s.dynamic {
+                assert_eq!(*m, Complex::ONE);
+            }
+        }
+    }
+
+    #[test]
+    fn multipath_power_tracks_environment() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Average response power over many realizations per environment.
+        let mut avg = |env: Environment| -> f64 {
+            let mut acc = 0.0;
+            let n = 60;
+            for _ in 0..n {
+                let ch = MultipathChannel::realize(env, tx, rx, &mut rng);
+                let j = ch.frozen_jitter();
+                acc += ch.response(tx, rx, F, &j, None).norm_sqr();
+            }
+            acc / n as f64
+        };
+        let hall = avg(Environment::EmptyHall);
+        let library = avg(Environment::Library);
+        assert!(
+            library > 3.0 * hall,
+            "library ({library:.4}) should be much richer than hall ({hall:.4})"
+        );
+    }
+
+    #[test]
+    fn frozen_jitter_makes_response_deterministic() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = MultipathChannel::realize(Environment::Lab, tx, rx, &mut rng);
+        let j = ch.frozen_jitter();
+        let a = ch.response(tx, rx, F, &j, None);
+        let b = ch.response(tx, rx, F, &j, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn jitter_perturbs_response_slightly() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(2);
+        let ch = MultipathChannel::realize(Environment::Lab, tx, rx, &mut rng);
+        let frozen = ch.frozen_jitter();
+        let base = ch.response(tx, rx, F, &frozen, None);
+        let jittered = ch.draw_jitter(&mut rng);
+        let moved = ch.response(tx, rx, F, &jittered, None);
+        let delta = (moved - base).abs();
+        assert!(delta > 0.0, "jitter had no effect");
+        assert!(delta < base.abs() + 0.5, "jitter unreasonably large");
+    }
+
+    #[test]
+    fn response_differs_across_antennas_and_subcarriers() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ch = MultipathChannel::realize(Environment::Library, tx, rx, &mut rng);
+        let j = ch.frozen_jitter();
+        let h1 = ch.response(tx, Point::new(2.0, 0.0), F, &j, None);
+        let h2 = ch.response(tx, Point::new(2.0, 0.029), F, &j, None);
+        assert!((h1 - h2).abs() > 1e-6, "antennas should decorrelate");
+        let f2 = Hertz(F.value() + 8.75e6);
+        let h3 = ch.response(tx, Point::new(2.0, 0.0), f2, &j, None);
+        assert!((h1 - h3).abs() > 1e-6, "subcarriers should decorrelate");
+    }
+
+    #[test]
+    fn los_normalisation() {
+        let (tx, rx) = link();
+        let h = los_response(tx, rx, F, 2.0);
+        assert!((h.abs() - 1.0).abs() < 1e-12);
+        let h_far = los_response(tx, Point::new(4.0, 0.0), F, 2.0);
+        assert!((h_far.abs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter state")]
+    fn response_rejects_foreign_jitter() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = MultipathChannel::realize(Environment::EmptyHall, tx, rx, &mut rng);
+        let b = MultipathChannel::realize(Environment::Library, tx, rx, &mut rng);
+        let j = b.frozen_jitter();
+        let _ = a.response(tx, rx, F, &j, None);
+    }
+
+    #[test]
+    fn standard_normal_shim_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

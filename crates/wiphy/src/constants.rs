@@ -1,0 +1,28 @@
+//! Physical constants used by the propagation model.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Vacuum permittivity ε₀, F/m.
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_8128e-12;
+
+/// Vacuum permeability μ₀, H/m.
+pub const VACUUM_PERMEABILITY: f64 = 1.256_637_062_12e-6;
+
+/// Free-space impedance √(μ₀/ε₀), ohms.
+pub const FREE_SPACE_IMPEDANCE: f64 = 376.730_313_668;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_consistent() {
+        // c = 1/sqrt(μ₀ε₀)
+        let c = 1.0 / (VACUUM_PERMEABILITY * VACUUM_PERMITTIVITY).sqrt();
+        assert!((c - SPEED_OF_LIGHT).abs() / SPEED_OF_LIGHT < 1e-9);
+        // Z₀ = sqrt(μ₀/ε₀)
+        let z0 = (VACUUM_PERMEABILITY / VACUUM_PERMITTIVITY).sqrt();
+        assert!((z0 - FREE_SPACE_IMPEDANCE).abs() / FREE_SPACE_IMPEDANCE < 1e-9);
+    }
+}

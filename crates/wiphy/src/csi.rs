@@ -1,0 +1,373 @@
+//! CSI packet and capture containers.
+//!
+//! A [`CsiPacket`] is what one received Wi-Fi frame yields: a complex
+//! channel estimate per (receive antenna × subcarrier). A [`CsiCapture`] is
+//! a time-ordered sequence of packets, the unit the WiMi pipeline consumes.
+
+use crate::complex::Complex;
+
+/// CSI for a single received packet: `n_antennas × n_subcarriers` complex
+/// channel estimates, stored row-major by antenna.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsiPacket {
+    n_antennas: usize,
+    n_subcarriers: usize,
+    data: Vec<Complex>,
+}
+
+impl CsiPacket {
+    /// Creates a packet from row-major data (antenna-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n_antennas * n_subcarriers` or either
+    /// dimension is zero.
+    pub fn new(n_antennas: usize, n_subcarriers: usize, data: Vec<Complex>) -> Self {
+        assert!(n_antennas > 0, "packet needs at least one antenna");
+        assert!(n_subcarriers > 0, "packet needs at least one subcarrier");
+        assert_eq!(
+            data.len(),
+            n_antennas * n_subcarriers,
+            "CSI data length must equal antennas × subcarriers"
+        );
+        CsiPacket {
+            n_antennas,
+            n_subcarriers,
+            data,
+        }
+    }
+
+    /// Creates an all-zero packet (useful as an accumulator).
+    pub fn zeros(n_antennas: usize, n_subcarriers: usize) -> Self {
+        Self::new(
+            n_antennas,
+            n_subcarriers,
+            vec![Complex::ZERO; n_antennas * n_subcarriers],
+        )
+    }
+
+    /// Number of receive antennas.
+    pub fn n_antennas(&self) -> usize {
+        self.n_antennas
+    }
+
+    /// Number of subcarriers.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_subcarriers
+    }
+
+    /// Channel estimate for `(antenna, subcarrier)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, antenna: usize, subcarrier: usize) -> Complex {
+        assert!(antenna < self.n_antennas, "antenna index out of bounds");
+        assert!(
+            subcarrier < self.n_subcarriers,
+            "subcarrier index out of bounds"
+        );
+        self.data[antenna * self.n_subcarriers + subcarrier]
+    }
+
+    /// Mutable access to one channel estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get_mut(&mut self, antenna: usize, subcarrier: usize) -> &mut Complex {
+        assert!(antenna < self.n_antennas, "antenna index out of bounds");
+        assert!(
+            subcarrier < self.n_subcarriers,
+            "subcarrier index out of bounds"
+        );
+        &mut self.data[antenna * self.n_subcarriers + subcarrier]
+    }
+
+    /// The CSI row of one antenna across all subcarriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `antenna` is out of bounds.
+    pub fn antenna_row(&self, antenna: usize) -> &[Complex] {
+        assert!(antenna < self.n_antennas, "antenna index out of bounds");
+        let start = antenna * self.n_subcarriers;
+        &self.data[start..start + self.n_subcarriers]
+    }
+
+    /// Amplitudes `|H|` of one antenna across all subcarriers.
+    pub fn amplitudes(&self, antenna: usize) -> Vec<f64> {
+        self.antenna_row(antenna).iter().map(|h| h.abs()).collect()
+    }
+
+    /// Phases `∠H` of one antenna across all subcarriers.
+    pub fn phases(&self, antenna: usize) -> Vec<f64> {
+        self.antenna_row(antenna).iter().map(|h| h.arg()).collect()
+    }
+
+    /// Cross-antenna conjugate product `H_a · H_b*` per subcarrier — its
+    /// argument is the phase difference that cancels NIC-common offsets
+    /// (paper Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either antenna index is out of bounds.
+    pub fn cross_antenna(&self, a: usize, b: usize) -> Vec<Complex> {
+        let ra = self.antenna_row(a).to_vec();
+        let rb = self.antenna_row(b);
+        ra.iter().zip(rb.iter()).map(|(x, y)| *x * y.conj()).collect()
+    }
+}
+
+/// A time-ordered CSI capture: every packet has identical dimensions.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CsiCapture {
+    packets: Vec<CsiPacket>,
+}
+
+impl CsiCapture {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        CsiCapture {
+            packets: Vec::new(),
+        }
+    }
+
+    /// Creates a capture from packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if packets have inconsistent dimensions.
+    pub fn from_packets(packets: Vec<CsiPacket>) -> Self {
+        if let Some(first) = packets.first() {
+            let (a, s) = (first.n_antennas(), first.n_subcarriers());
+            assert!(
+                packets
+                    .iter()
+                    .all(|p| p.n_antennas() == a && p.n_subcarriers() == s),
+                "all packets in a capture must share dimensions"
+            );
+        }
+        CsiCapture { packets }
+    }
+
+    /// Appends a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet's dimensions differ from packets already held.
+    pub fn push(&mut self, packet: CsiPacket) {
+        if let Some(first) = self.packets.first() {
+            assert_eq!(
+                (first.n_antennas(), first.n_subcarriers()),
+                (packet.n_antennas(), packet.n_subcarriers()),
+                "packet dimensions must match the capture"
+            );
+        }
+        self.packets.push(packet);
+    }
+
+    /// Number of packets captured.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` when no packets have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Packet at time index `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of bounds.
+    pub fn packet(&self, m: usize) -> &CsiPacket {
+        &self.packets[m]
+    }
+
+    /// Iterates over packets in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, CsiPacket> {
+        self.packets.iter()
+    }
+
+    /// Number of antennas per packet (0 if empty).
+    pub fn n_antennas(&self) -> usize {
+        self.packets.first().map_or(0, |p| p.n_antennas())
+    }
+
+    /// Number of subcarriers per packet (0 if empty).
+    pub fn n_subcarriers(&self) -> usize {
+        self.packets.first().map_or(0, |p| p.n_subcarriers())
+    }
+
+    /// Amplitude time series `|H_m|` of one (antenna, subcarrier) across
+    /// all packets.
+    pub fn amplitude_series(&self, antenna: usize, subcarrier: usize) -> Vec<f64> {
+        self.packets
+            .iter()
+            .map(|p| p.get(antenna, subcarrier).abs())
+            .collect()
+    }
+
+    /// Phase time series `∠H_m` of one (antenna, subcarrier).
+    pub fn phase_series(&self, antenna: usize, subcarrier: usize) -> Vec<f64> {
+        self.packets
+            .iter()
+            .map(|p| p.get(antenna, subcarrier).arg())
+            .collect()
+    }
+
+    /// Phase-difference time series `∠(H_a·H_b*)` between two antennas on
+    /// one subcarrier across all packets.
+    pub fn phase_difference_series(&self, a: usize, b: usize, subcarrier: usize) -> Vec<f64> {
+        self.packets
+            .iter()
+            .map(|p| (p.get(a, subcarrier) * p.get(b, subcarrier).conj()).arg())
+            .collect()
+    }
+
+    /// Amplitude-ratio time series `|H_a|/|H_b|` on one subcarrier.
+    ///
+    /// Ratios with a zero denominator are reported as `f64::INFINITY`.
+    pub fn amplitude_ratio_series(&self, a: usize, b: usize, subcarrier: usize) -> Vec<f64> {
+        self.packets
+            .iter()
+            .map(|p| {
+                let num = p.get(a, subcarrier).abs();
+                let den = p.get(b, subcarrier).abs();
+                if den == 0.0 {
+                    f64::INFINITY
+                } else {
+                    num / den
+                }
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<CsiPacket> for CsiCapture {
+    fn from_iter<I: IntoIterator<Item = CsiPacket>>(iter: I) -> Self {
+        CsiCapture::from_packets(iter.into_iter().collect())
+    }
+}
+
+impl Extend<CsiPacket> for CsiCapture {
+    fn extend<I: IntoIterator<Item = CsiPacket>>(&mut self, iter: I) {
+        for p in iter {
+            self.push(p);
+        }
+    }
+}
+
+/// A source of CSI captures.
+///
+/// The simulator implements this; a driver for real hardware (e.g. the
+/// Intel 5300 CSI tool) could implement it too, making the WiMi pipeline
+/// hardware-agnostic.
+pub trait CsiSource {
+    /// Captures `n_packets` consecutive packets of CSI.
+    fn capture(&mut self, n_packets: usize) -> CsiCapture;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(n_ant: usize, n_sub: usize, seed: f64) -> CsiPacket {
+        let data = (0..n_ant * n_sub)
+            .map(|i| Complex::from_polar(1.0 + i as f64 * 0.1, seed + i as f64))
+            .collect();
+        CsiPacket::new(n_ant, n_sub, data)
+    }
+
+    #[test]
+    fn packet_indexing_is_row_major() {
+        let p = packet(2, 3, 0.0);
+        assert_eq!(p.get(1, 0), p.antenna_row(1)[0]);
+        assert_eq!(p.antenna_row(0).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "antennas × subcarriers")]
+    fn packet_rejects_bad_length() {
+        let _ = CsiPacket::new(2, 3, vec![Complex::ZERO; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "antenna index")]
+    fn packet_rejects_bad_antenna() {
+        let p = packet(2, 3, 0.0);
+        let _ = p.get(2, 0);
+    }
+
+    #[test]
+    fn amplitudes_and_phases_match_complex_values() {
+        let p = packet(1, 4, 0.5);
+        let amps = p.amplitudes(0);
+        let phases = p.phases(0);
+        for k in 0..4 {
+            assert!((amps[k] - p.get(0, k).abs()).abs() < 1e-15);
+            assert!((phases[k] - p.get(0, k).arg()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn cross_antenna_cancels_common_phase() {
+        // Two antennas with identical per-subcarrier phase plus a common
+        // random rotation: the conjugate product's phase must be zero.
+        let common = Complex::cis(2.1);
+        let data = vec![
+            common * Complex::from_polar(1.0, 0.3),
+            common * Complex::from_polar(2.0, 0.3),
+        ];
+        let p = CsiPacket::new(2, 1, data);
+        let x = p.cross_antenna(0, 1);
+        assert!(x[0].arg().abs() < 1e-12);
+    }
+
+    #[test]
+    fn capture_series_extraction() {
+        let cap: CsiCapture = (0..5).map(|m| packet(2, 3, m as f64)).collect();
+        assert_eq!(cap.len(), 5);
+        assert_eq!(cap.n_antennas(), 2);
+        assert_eq!(cap.n_subcarriers(), 3);
+        assert_eq!(cap.amplitude_series(0, 1).len(), 5);
+        assert_eq!(cap.phase_series(1, 2).len(), 5);
+        assert_eq!(cap.phase_difference_series(0, 1, 0).len(), 5);
+        assert_eq!(cap.amplitude_ratio_series(0, 1, 0).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must match")]
+    fn capture_rejects_mismatched_packets() {
+        let mut cap = CsiCapture::new();
+        cap.push(packet(2, 3, 0.0));
+        cap.push(packet(2, 4, 0.0));
+    }
+
+    #[test]
+    fn amplitude_ratio_handles_zero_denominator() {
+        let p = CsiPacket::new(2, 1, vec![Complex::ONE, Complex::ZERO]);
+        let cap = CsiCapture::from_packets(vec![p]);
+        assert!(cap.amplitude_ratio_series(0, 1, 0)[0].is_infinite());
+    }
+
+    #[test]
+    fn zeros_packet() {
+        let p = CsiPacket::zeros(3, 30);
+        assert_eq!(p.n_antennas(), 3);
+        assert_eq!(p.n_subcarriers(), 30);
+        assert_eq!(p.get(2, 29), Complex::ZERO);
+    }
+
+    #[test]
+    fn extend_and_empty() {
+        let mut cap = CsiCapture::new();
+        assert!(cap.is_empty());
+        cap.extend((0..3).map(|m| packet(1, 2, m as f64)));
+        assert_eq!(cap.len(), 3);
+    }
+}

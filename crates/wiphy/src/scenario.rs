@@ -1,0 +1,783 @@
+//! Deployment scenarios and the end-to-end CSI simulator.
+//!
+//! A [`Scenario`] describes one physical deployment: environment, link
+//! geometry, beaker, hardware profile and channel. A [`Simulator`] realises
+//! it (placing scatterers with a seeded RNG) and produces [`CsiCapture`]s,
+//! first with the empty beaker (baseline) and then with the liquid poured
+//! in — mirroring the paper's measurement protocol (§IV: "we first extract
+//! a set of phase and amplitude values as the baseline data when the empty
+//! plastic beaker is placed at the LoS link, then pour the tested liquid").
+
+use crate::channel::{Environment, MultipathChannel, StandardNormal};
+use crate::complex::Complex;
+use crate::csi::{CsiCapture, CsiPacket, CsiSource};
+use crate::geometry::{
+    diffraction_severity, traverse_beaker, AntennaArray, Cylinder, Point, Ray,
+};
+use crate::hardware::HardwareProfile;
+use crate::material::{
+    ContainerMaterial, DebyeModel, Dielectric, Liquid, Permittivity, PropagationConstants,
+    SaltwaterConcentration,
+};
+use crate::ofdm::ChannelSpec;
+use crate::units::{Hertz, Meters};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A liquid under test: a name plus its dielectric model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiquidSpec {
+    name: String,
+    debye: DebyeModel,
+}
+
+impl LiquidSpec {
+    /// A liquid from the paper's ten-liquid catalog.
+    pub fn catalog(liquid: Liquid) -> Self {
+        LiquidSpec {
+            name: liquid.name().to_owned(),
+            debye: liquid.debye(),
+        }
+    }
+
+    /// A saltwater solution (Fig. 16 experiment).
+    pub fn saltwater(c: SaltwaterConcentration) -> Self {
+        LiquidSpec {
+            name: c.to_string(),
+            debye: c.debye(),
+        }
+    }
+
+    /// A custom liquid from an explicit Debye model.
+    pub fn custom(name: impl Into<String>, debye: DebyeModel) -> Self {
+        LiquidSpec {
+            name: name.into(),
+            debye,
+        }
+    }
+
+    /// The liquid's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying Debye model.
+    pub fn debye(&self) -> DebyeModel {
+        self.debye
+    }
+}
+
+impl Dielectric for LiquidSpec {
+    fn permittivity(&self, f: Hertz) -> Permittivity {
+        self.debye.permittivity(f)
+    }
+}
+
+impl From<Liquid> for LiquidSpec {
+    fn from(l: Liquid) -> Self {
+        LiquidSpec::catalog(l)
+    }
+}
+
+impl From<SaltwaterConcentration> for LiquidSpec {
+    fn from(c: SaltwaterConcentration) -> Self {
+        LiquidSpec::saltwater(c)
+    }
+}
+
+/// A cylindrical beaker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beaker {
+    /// Outer diameter.
+    pub diameter: Meters,
+    /// Height (informational; the 2-D model assumes the LoS crosses the
+    /// liquid column).
+    pub height: Meters,
+    /// Wall thickness.
+    pub wall_thickness: Meters,
+    /// Wall material.
+    pub material: ContainerMaterial,
+}
+
+impl Beaker {
+    /// The paper's default beaker: ⌀ 14.3 cm × 23 cm plastic.
+    pub fn paper_default() -> Self {
+        Beaker {
+            diameter: Meters::from_cm(14.3),
+            height: Meters::from_cm(23.0),
+            wall_thickness: Meters::from_mm(3.0),
+            material: ContainerMaterial::Plastic,
+        }
+    }
+
+    /// The five beaker diameters of the Fig. 19 size experiment, cm:
+    /// 14.3, 11, 8.9, 6.1, 3.2.
+    pub const PAPER_DIAMETERS_CM: [f64; 5] = [14.3, 11.0, 8.9, 6.1, 3.2];
+
+    /// Returns a copy with a different diameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diameter does not exceed twice the wall thickness.
+    pub fn with_diameter(mut self, diameter: Meters) -> Self {
+        assert!(
+            diameter.value() > 2.0 * self.wall_thickness.value(),
+            "diameter must exceed twice the wall thickness"
+        );
+        self.diameter = diameter;
+        self
+    }
+
+    /// Returns a copy with a different wall material.
+    pub fn with_material(mut self, material: ContainerMaterial) -> Self {
+        self.material = material;
+        self
+    }
+
+    /// Outer radius.
+    pub fn radius(&self) -> Meters {
+        self.diameter / 2.0
+    }
+}
+
+/// A complete deployment description.
+///
+/// Construct with [`Scenario::builder`]. The scenario holds the *empty*
+/// deployment; the liquid under test is set on the [`Simulator`] because
+/// baseline and target captures share one scenario realisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    channel: ChannelSpec,
+    environment: Environment,
+    link_distance: Meters,
+    n_antennas: usize,
+    antenna_spacing: Meters,
+    beaker: Beaker,
+    target_center: Point,
+    hardware: HardwareProfile,
+    leakage_floor_db: f64,
+    flow_noise: f64,
+}
+
+impl Scenario {
+    /// Starts building a scenario from the paper's defaults.
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder::default()
+    }
+
+    /// The OFDM channel.
+    pub fn channel(&self) -> &ChannelSpec {
+        &self.channel
+    }
+
+    /// The deployment environment.
+    pub fn environment(&self) -> Environment {
+        self.environment
+    }
+
+    /// Transmitter–receiver separation.
+    pub fn link_distance(&self) -> Meters {
+        self.link_distance
+    }
+
+    /// Number of receive antennas.
+    pub fn n_antennas(&self) -> usize {
+        self.n_antennas
+    }
+
+    /// The beaker on the LoS path.
+    pub fn beaker(&self) -> &Beaker {
+        &self.beaker
+    }
+
+    /// The hardware impairment profile.
+    pub fn hardware(&self) -> &HardwareProfile {
+        &self.hardware
+    }
+
+    /// Transmit antenna position (origin).
+    pub fn tx_position(&self) -> Point {
+        Point::new(0.0, 0.0)
+    }
+
+    /// The receive antenna array.
+    pub fn rx_array(&self) -> AntennaArray {
+        AntennaArray::uniform_linear(
+            Point::new(self.link_distance.value(), 0.0),
+            self.antenna_spacing,
+            self.n_antennas,
+        )
+    }
+
+    /// Centre of the beaker in the deployment plane.
+    pub fn target_center(&self) -> Point {
+        self.target_center
+    }
+}
+
+/// Builder for [`Scenario`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    channel: ChannelSpec,
+    environment: Environment,
+    link_distance: Meters,
+    n_antennas: usize,
+    antenna_spacing: Meters,
+    beaker: Beaker,
+    target_offset: Meters,
+    hardware: HardwareProfile,
+    leakage_floor_db: f64,
+    flow_noise: f64,
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder {
+            channel: ChannelSpec::intel5300_20mhz_5ghz(),
+            environment: Environment::Lab,
+            link_distance: Meters(2.0),
+            n_antennas: 3,
+            antenna_spacing: Meters::from_cm(2.9),
+            beaker: Beaker::paper_default(),
+            target_offset: Meters::from_cm(1.0),
+            hardware: HardwareProfile::default(),
+            leakage_floor_db: -10.0,
+            flow_noise: 0.0,
+        }
+    }
+}
+
+impl ScenarioBuilder {
+    /// Sets the deployment environment (default: lab).
+    pub fn environment(&mut self, env: Environment) -> &mut Self {
+        self.environment = env;
+        self
+    }
+
+    /// Sets the transmitter–receiver distance (default: 2 m).
+    ///
+    /// # Panics
+    ///
+    /// Panics (on `build`) if not positive.
+    pub fn link_distance(&mut self, d: Meters) -> &mut Self {
+        self.link_distance = d;
+        self
+    }
+
+    /// Sets the receive array (default: 3 antennas, 2.9 cm apart — half a
+    /// wavelength at 5.24 GHz, the Intel 5300's three-antenna setup). The
+    /// spacing sets the chord-length differential `D₁ − D₂` the material
+    /// feature rides on.
+    pub fn antennas(&mut self, n: usize, spacing: Meters) -> &mut Self {
+        self.n_antennas = n;
+        self.antenna_spacing = spacing;
+        self
+    }
+
+    /// Sets the beaker (default: the paper's ⌀ 14.3 cm plastic beaker).
+    pub fn beaker(&mut self, beaker: Beaker) -> &mut Self {
+        self.beaker = beaker;
+        self
+    }
+
+    /// Lateral offset of the beaker centre from the LoS axis (default
+    /// 1 cm). A small offset is what every physical placement has; it
+    /// breaks the symmetric-array degeneracy in which two antenna rays cut
+    /// identical chords.
+    pub fn target_offset(&mut self, offset: Meters) -> &mut Self {
+        self.target_offset = offset;
+        self
+    }
+
+    /// Sets the hardware impairment profile.
+    pub fn hardware(&mut self, hw: HardwareProfile) -> &mut Self {
+        self.hardware = hw;
+        self
+    }
+
+    /// Sets the OFDM channel.
+    pub fn channel(&mut self, ch: ChannelSpec) -> &mut Self {
+        self.channel = ch;
+        self
+    }
+
+    /// Sets the through-target leakage floor in dB (default −10 dB).
+    ///
+    /// Bulk absorption alone would put 14 cm of water ~130 dB down, yet
+    /// measured insertion losses through liquid containers are tens of dB:
+    /// energy leaks around and through the target (creeping waves, surface
+    /// paths). The floor caps the *common* attenuation across antennas
+    /// while leaving the inter-antenna differential — the quantity the
+    /// WiMi feature uses — exactly as the paper's Eq. (15)/(17) predict.
+    pub fn leakage_floor_db(&mut self, db: f64) -> &mut Self {
+        self.leakage_floor_db = db;
+        self
+    }
+
+    /// Sets liquid-motion noise in `[0, 1]` (default 0: static liquid).
+    /// Non-zero values model a flowing/moving liquid, the failure mode the
+    /// paper's §VI discusses.
+    pub fn flow_noise(&mut self, level: f64) -> &mut Self {
+        self.flow_noise = level;
+        self
+    }
+
+    /// Builds the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent: non-positive link distance,
+    /// fewer than one antenna, a beaker wider than the link, or a flow
+    /// noise level outside `[0, 1]`.
+    pub fn build(&self) -> Scenario {
+        assert!(
+            self.link_distance.value() > 0.0,
+            "link distance must be positive"
+        );
+        assert!(self.n_antennas >= 1, "need at least one receive antenna");
+        assert!(
+            self.beaker.diameter.value() < self.link_distance.value(),
+            "beaker must fit between transmitter and receiver"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.flow_noise),
+            "flow noise must be within [0, 1]"
+        );
+        Scenario {
+            channel: self.channel.clone(),
+            environment: self.environment,
+            link_distance: self.link_distance,
+            n_antennas: self.n_antennas,
+            antenna_spacing: self.antenna_spacing,
+            beaker: self.beaker.clone(),
+            target_center: Point::new(
+                self.link_distance.value() / 2.0,
+                self.target_offset.value(),
+            ),
+            hardware: self.hardware.clone(),
+            leakage_floor_db: self.leakage_floor_db,
+            flow_noise: self.flow_noise,
+        }
+    }
+}
+
+/// The end-to-end CSI simulator for one realised deployment.
+///
+/// # Examples
+///
+/// ```
+/// use wimi_phy::material::Liquid;
+/// use wimi_phy::scenario::{Scenario, Simulator};
+/// use wimi_phy::csi::CsiSource;
+///
+/// let scenario = Scenario::builder().build();
+/// let mut sim = Simulator::new(scenario, 42);
+/// let baseline = sim.capture(20);            // empty beaker
+/// sim.set_liquid(Some(Liquid::Milk.into())); // pour the milk in
+/// let target = sim.capture(20);
+/// assert_eq!(baseline.len(), 20);
+/// assert_eq!(target.n_antennas(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    scenario: Scenario,
+    multipath: MultipathChannel,
+    liquid: Option<LiquidSpec>,
+    rng: StdRng,
+    rays: Vec<Ray>,
+}
+
+impl Simulator {
+    /// Realises a scenario with a deterministic seed.
+    pub fn new(scenario: Scenario, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tx = scenario.tx_position();
+        let rx = scenario.rx_array();
+        let rx_center = Point::new(scenario.link_distance.value(), 0.0);
+        let multipath = MultipathChannel::realize(scenario.environment, tx, rx_center, &mut rng);
+        let rays = rx.iter().map(|&p| Ray::new(tx, p)).collect();
+        Simulator {
+            scenario,
+            multipath,
+            liquid: None,
+            rng,
+            rays,
+        }
+    }
+
+    /// The scenario being simulated.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Sets (or clears) the liquid in the beaker. `None` means the empty
+    /// baseline beaker.
+    pub fn set_liquid(&mut self, liquid: Option<LiquidSpec>) {
+        self.liquid = liquid;
+    }
+
+    /// The current liquid, if any.
+    pub fn liquid(&self) -> Option<&LiquidSpec> {
+        self.liquid.as_ref()
+    }
+
+    /// Ground-truth liquid chord length for each receive antenna's LoS ray
+    /// (the `D_i` of paper Fig. 4). Useful for validating the feature
+    /// equations against the geometry.
+    pub fn liquid_paths(&self) -> Vec<Meters> {
+        let outer = Cylinder::new(self.scenario.target_center, self.scenario.beaker.radius());
+        self.rays
+            .iter()
+            .map(|&ray| traverse_beaker(ray, outer, self.scenario.beaker.wall_thickness).liquid_path)
+            .collect()
+    }
+
+    /// Captures one CSI packet.
+    pub fn packet(&mut self) -> CsiPacket {
+        let n_ant = self.scenario.n_antennas;
+        let n_sub = self.scenario.channel.num_subcarriers();
+        let tx = self.scenario.tx_position();
+        let rx = self.scenario.rx_array();
+        let d_ref = self.scenario.link_distance.value();
+        let jitter = self.multipath.draw_jitter(&mut self.rng);
+
+        // Per-antenna target insertion across subcarriers.
+        let insertions = self.target_insertions();
+
+        let mut packet = CsiPacket::zeros(n_ant, n_sub);
+        for a in 0..n_ant {
+            let rx_pos = rx.position(a);
+            // Per-packet flow/diffraction perturbation for this antenna.
+            let perturb = self.draw_ray_perturbation();
+            for k in 0..n_sub {
+                let f = self.scenario.channel.subcarrier_freq(k);
+                let los = crate::channel::los_response(tx, rx_pos, f, d_ref);
+                let through = los * insertions[a][k] * perturb;
+                let mp = self.multipath.response(tx, rx_pos, f, &jitter, None);
+                *packet.get_mut(a, k) = through + mp;
+            }
+        }
+
+        self.scenario.hardware.apply(&mut packet, &mut self.rng);
+        packet
+    }
+
+    /// Per-antenna, per-subcarrier complex insertion factor of the beaker
+    /// (and liquid) on the LoS ray, with the common leakage floor applied.
+    fn target_insertions(&mut self) -> Vec<Vec<Complex>> {
+        let n_sub = self.scenario.channel.num_subcarriers();
+        let outer = Cylinder::new(self.scenario.target_center, self.scenario.beaker.radius());
+        let wall = self.scenario.beaker.wall_thickness;
+
+        // Metal blocks penetration entirely: −80 dB and no leakage floor
+        // (reflection carries no through-target signature).
+        if self.scenario.beaker.material.dielectric().is_none() {
+            let blocked = Complex::from_re(1e-4);
+            return vec![vec![blocked; n_sub]; self.rays.len()];
+        }
+        let wall_diel = self
+            .scenario
+            .beaker
+            .material
+            .dielectric()
+            .expect("non-metal container has a dielectric");
+
+        let mut per_antenna: Vec<Vec<Complex>> = Vec::with_capacity(self.rays.len());
+        for &ray in &self.rays {
+            let trav = traverse_beaker(ray, outer, wall);
+            let mut row = Vec::with_capacity(n_sub);
+            for k in 0..n_sub {
+                let f = self.scenario.channel.subcarrier_freq(k);
+                let air = PropagationConstants::air(f);
+                let mut ins = insertion_factor(wall_diel.propagation(f), air, trav.wall_path);
+                if let Some(liquid) = &self.liquid {
+                    ins *= insertion_factor(liquid.propagation(f), air, trav.liquid_path);
+                }
+                row.push(ins);
+            }
+            per_antenna.push(row);
+        }
+
+        // Leakage floor: boost the *common* attenuation (geometric mean
+        // across antennas, centre subcarrier) up to the floor. This models
+        // the energy that creeps around the target; the inter-antenna
+        // differential that WiMi measures is untouched.
+        let floor = 10f64.powf(self.scenario.leakage_floor_db / 20.0);
+        let mid = n_sub / 2;
+        let mean_amp = geometric_mean(per_antenna.iter().map(|row| row[mid].abs()));
+        if mean_amp < floor && mean_amp > 0.0 {
+            let boost = floor / mean_amp;
+            for row in &mut per_antenna {
+                for ins in row.iter_mut() {
+                    *ins = *ins * boost;
+                }
+            }
+        }
+        per_antenna
+    }
+
+    /// Per-packet multiplicative perturbation of one LoS ray from liquid
+    /// motion (flow noise) and sub-wavelength diffraction.
+    fn draw_ray_perturbation(&mut self) -> Complex {
+        let lambda = self.scenario.channel.center.wavelength();
+        let severity = diffraction_severity(self.scenario.beaker.diameter, lambda);
+        let flow = self.scenario.flow_noise;
+        if severity == 0.0 && flow == 0.0 {
+            return Complex::ONE;
+        }
+        let amp_sigma = 0.6 * severity + 0.3 * flow;
+        let phase_sigma = 2.5 * severity + 1.2 * flow;
+        let g: f64 = 1.0 + amp_sigma * self.rng.sample(StandardNormal);
+        let p: f64 = phase_sigma * self.rng.sample(StandardNormal);
+        Complex::from_polar(g.max(0.05), p)
+    }
+}
+
+impl CsiSource for Simulator {
+    fn capture(&mut self, n_packets: usize) -> CsiCapture {
+        (0..n_packets).map(|_| self.packet()).collect()
+    }
+}
+
+/// One-region insertion factor: extra phase `D(β − β_air)` and extra
+/// attenuation `e^{−(α − α_air)·D}` relative to the same path in air —
+/// exactly paper Eq. (2)–(4).
+fn insertion_factor(pc: PropagationConstants, air: PropagationConstants, d: Meters) -> Complex {
+    if d.value() == 0.0 {
+        return Complex::ONE;
+    }
+    let extra_phase = (pc.beta - air.beta) * d.value();
+    let extra_att = ((air.alpha - pc.alpha) * d.value()).exp();
+    Complex::from_polar(extra_att, -extra_phase)
+}
+
+fn geometric_mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v <= 0.0 {
+            return 0.0;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_scenario() -> Scenario {
+        let mut b = Scenario::builder();
+        b.hardware(HardwareProfile::ideal());
+        b.build()
+    }
+
+    #[test]
+    fn builder_defaults_match_paper_setup() {
+        let s = Scenario::builder().build();
+        assert_eq!(s.n_antennas(), 3);
+        assert_eq!(s.environment(), Environment::Lab);
+        assert!((s.link_distance().value() - 2.0).abs() < 1e-12);
+        assert!((s.beaker().diameter.to_cm() - 14.3).abs() < 1e-9);
+        assert_eq!(s.channel().num_subcarriers(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "beaker must fit")]
+    fn build_rejects_beaker_wider_than_link() {
+        let mut b = Scenario::builder();
+        b.link_distance(Meters(0.1));
+        let _ = b.build();
+    }
+
+    #[test]
+    fn liquid_paths_differ_across_antennas() {
+        let sim = Simulator::new(quiet_scenario(), 1);
+        let paths = sim.liquid_paths();
+        assert_eq!(paths.len(), 3);
+        // All rays hit the big beaker...
+        assert!(paths.iter().all(|p| p.value() > 0.10));
+        // ...but at different chords: the differential WiMi needs.
+        let mut sorted = paths.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[2] - sorted[0]).value() > 1e-4);
+    }
+
+    #[test]
+    fn capture_dimensions() {
+        let mut sim = Simulator::new(quiet_scenario(), 2);
+        let cap = sim.capture(7);
+        assert_eq!(cap.len(), 7);
+        assert_eq!(cap.n_antennas(), 3);
+        assert_eq!(cap.n_subcarriers(), 30);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_capture() {
+        let s = quiet_scenario();
+        let mut a = Simulator::new(s.clone(), 99);
+        let mut b = Simulator::new(s, 99);
+        assert_eq!(a.capture(3), b.capture(3));
+    }
+
+    #[test]
+    fn liquid_changes_the_csi() {
+        let mut sim = Simulator::new(quiet_scenario(), 5);
+        let base = sim.capture(1);
+        // Re-seed a twin so the multipath jitter draw sequence matches.
+        let mut sim2 = Simulator::new(quiet_scenario(), 5);
+        sim2.set_liquid(Some(Liquid::PureWater.into()));
+        let tar = sim2.capture(1);
+        let delta = (base.packet(0).get(0, 15) - tar.packet(0).get(0, 15)).abs();
+        assert!(delta > 0.01, "liquid should alter CSI, delta = {delta}");
+    }
+
+    #[test]
+    fn insertion_differential_matches_equations() {
+        // With ideal hardware and no multipath jitter the phase difference
+        // between antennas must match (D1−D2)(β_tar−β_free) mod 2π.
+        let mut builder = Scenario::builder();
+        builder.hardware(HardwareProfile::ideal());
+        builder.environment(Environment::EmptyHall);
+        let scenario = builder.build();
+        let mut sim = Simulator::new(scenario.clone(), 11);
+        let paths = sim.liquid_paths();
+
+        sim.set_liquid(Some(Liquid::Oil.into()));
+        let f = scenario.channel().subcarrier_freq(15);
+        let air = PropagationConstants::air(f);
+        let oil = Liquid::Oil.propagation(f);
+
+        // Compare simulated insertion phases directly (through target only:
+        // subtract the baseline capture's phase difference), averaging the
+        // dynamic multipath out over many packets.
+        let mut base_sim = Simulator::new(scenario, 11);
+        let base = base_sim.capture(200);
+        let tar = sim.capture(200);
+
+        let phase_diff = |cap: &CsiCapture| {
+            let (s, c) = cap
+                .iter()
+                .map(|p| (p.get(0, 15) * p.get(1, 15).conj()).arg())
+                .fold((0.0f64, 0.0f64), |(s, c), a| (s + a.sin(), c + a.cos()));
+            s.atan2(c)
+        };
+        let measured = wrap_pi(phase_diff(&tar) - phase_diff(&base));
+        let expected = wrap_pi(-((paths[0] - paths[1]).value() * (oil.beta - air.beta)));
+        // Residual static multipath differs between antennas, so allow a
+        // modest tolerance.
+        assert!(
+            (measured - expected).abs() < 0.25,
+            "measured {measured}, expected {expected}"
+        );
+    }
+
+    fn wrap_pi(x: f64) -> f64 {
+        let mut y = x % std::f64::consts::TAU;
+        if y > std::f64::consts::PI {
+            y -= std::f64::consts::TAU;
+        }
+        if y < -std::f64::consts::PI {
+            y += std::f64::consts::TAU;
+        }
+        y
+    }
+
+    #[test]
+    fn metal_container_blocks_penetration() {
+        let mut builder = Scenario::builder();
+        builder.hardware(HardwareProfile::ideal());
+        builder.beaker(Beaker::paper_default().with_material(ContainerMaterial::Metal));
+        builder.environment(Environment::EmptyHall);
+        let mut sim = Simulator::new(builder.build(), 3);
+        sim.set_liquid(Some(Liquid::Milk.into()));
+        let cap = sim.capture(1);
+        // Through component is −80 dB; what is left is weak multipath.
+        let amp = cap.packet(0).get(0, 15).abs();
+        assert!(amp < 0.3, "metal should block the LoS, amp = {amp}");
+    }
+
+    #[test]
+    fn leakage_floor_bounds_insertion_loss() {
+        let mut builder = Scenario::builder();
+        builder.hardware(HardwareProfile::ideal());
+        builder.environment(Environment::EmptyHall);
+        builder.leakage_floor_db(-14.0);
+        let mut sim = Simulator::new(builder.build(), 4);
+        sim.set_liquid(Some(Liquid::PureWater.into()));
+        let cap = sim.capture(1);
+        let amp = cap.packet(0).get(1, 15).abs();
+        // Water would be ~130 dB down without the floor; with it, the
+        // signal stays within a usable dynamic range.
+        assert!(amp > 0.01, "through-signal collapsed: {amp}");
+        assert!(amp < 1.0);
+    }
+
+    #[test]
+    fn small_beaker_adds_diffraction_noise() {
+        let mut builder = Scenario::builder();
+        builder.hardware(HardwareProfile::ideal());
+        builder.environment(Environment::EmptyHall);
+        builder.beaker(Beaker::paper_default().with_diameter(Meters::from_cm(3.2)));
+        let mut sim = Simulator::new(builder.build(), 6);
+        sim.set_liquid(Some(Liquid::PureWater.into()));
+        let cap = sim.capture(40);
+        let series = cap.amplitude_series(0, 15);
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / series.len() as f64;
+        assert!(
+            var.sqrt() / mean > 0.05,
+            "diffraction should churn the amplitude"
+        );
+    }
+
+    #[test]
+    fn flow_noise_churns_phase() {
+        let mut quiet_b = Scenario::builder();
+        quiet_b.hardware(HardwareProfile::ideal());
+        quiet_b.environment(Environment::EmptyHall);
+        let mut flowing_b = quiet_b.clone();
+        flowing_b.flow_noise(0.8);
+
+        let run = |scenario: Scenario| -> f64 {
+            let mut sim = Simulator::new(scenario, 8);
+            sim.set_liquid(Some(Liquid::Milk.into()));
+            let cap = sim.capture(60);
+            let series = cap.phase_difference_series(0, 1, 15);
+            circular_std(&series)
+        };
+        let quiet = run(quiet_b.build());
+        let flowing = run(flowing_b.build());
+        assert!(
+            flowing > 2.0 * quiet.max(1e-6),
+            "flow noise should raise phase spread (quiet {quiet}, flowing {flowing})"
+        );
+    }
+
+    fn circular_std(angles: &[f64]) -> f64 {
+        let (s, c) = angles
+            .iter()
+            .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
+        let r = (s * s + c * c).sqrt() / angles.len() as f64;
+        (-2.0 * r.max(1e-12).ln()).sqrt()
+    }
+
+    #[test]
+    fn liquidspec_constructors() {
+        let a = LiquidSpec::catalog(Liquid::Coke);
+        assert_eq!(a.name(), "Coke");
+        let b = LiquidSpec::saltwater(SaltwaterConcentration::new(1.2));
+        assert!(b.name().contains("1.2"));
+        let c = LiquidSpec::custom("mystery", DebyeModel::pure_water());
+        assert_eq!(c.name(), "mystery");
+        let d: LiquidSpec = Liquid::Milk.into();
+        assert_eq!(d.name(), "Milk");
+    }
+}

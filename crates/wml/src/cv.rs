@@ -1,0 +1,110 @@
+//! Cross-validation harness.
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::multiclass::MulticlassSvm;
+use crate::scale::StandardScaler;
+use crate::svm::SvmParams;
+use rand::Rng;
+
+/// Result of a cross-validated evaluation.
+#[derive(Debug, Clone)]
+pub struct CvResult {
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// Pooled confusion matrix over all folds.
+    pub confusion: ConfusionMatrix,
+}
+
+impl CvResult {
+    /// Mean fold accuracy.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+}
+
+/// Runs stratified k-fold cross-validation with a standardising SVM
+/// pipeline (scaler fitted per fold on the training split only).
+///
+/// # Panics
+///
+/// Panics under the same conditions as
+/// [`Dataset::stratified_folds`](crate::dataset::Dataset::stratified_folds).
+pub fn cross_validate_svm<R: Rng + ?Sized>(
+    ds: &Dataset,
+    params: &SvmParams,
+    k: usize,
+    rng: &mut R,
+) -> CvResult {
+    let folds = ds.stratified_folds(k, rng);
+    let mut fold_accuracies = Vec::with_capacity(k);
+    let mut truth_all = Vec::new();
+    let mut pred_all = Vec::new();
+
+    for fold in &folds {
+        let (train, test) = ds.fold_split(fold);
+        let scaler = StandardScaler::fit(train.features());
+        let mut scaled_train = Dataset::new(train.class_names().to_vec());
+        for i in 0..train.len() {
+            let (x, y) = train.sample(i);
+            scaled_train.push(scaler.transform_one(x), y);
+        }
+        let model = MulticlassSvm::train(&scaled_train, params, rng);
+
+        let mut correct = 0usize;
+        for i in 0..test.len() {
+            let (x, y) = test.sample(i);
+            let pred = model.predict(&scaler.transform_one(x));
+            truth_all.push(y);
+            pred_all.push(pred);
+            if pred == y {
+                correct += 1;
+            }
+        }
+        fold_accuracies.push(correct as f64 / test.len() as f64);
+    }
+
+    CvResult {
+        fold_accuracies,
+        confusion: ConfusionMatrix::from_predictions(&truth_all, &pred_all, ds.class_names()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..20 {
+            let t = i as f64 * 0.31;
+            ds.push(vec![t.sin() * 0.3, t.cos() * 0.3], 0);
+            ds.push(vec![3.0 + t.sin() * 0.3, 3.0 + t.cos() * 0.3], 1);
+        }
+        ds
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_accurate() {
+        let ds = blobs();
+        let mut rng = StdRng::seed_from_u64(0);
+        let result = cross_validate_svm(&ds, &SvmParams::default(), 4, &mut rng);
+        assert_eq!(result.fold_accuracies.len(), 4);
+        assert!(result.mean_accuracy() > 0.95, "acc = {}", result.mean_accuracy());
+        assert!(result.confusion.accuracy() > 0.95);
+    }
+
+    #[test]
+    fn confusion_covers_all_samples() {
+        let ds = blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let result = cross_validate_svm(&ds, &SvmParams::default(), 4, &mut rng);
+        let total: usize = (0..2)
+            .flat_map(|t| (0..2).map(move |p| (t, p)))
+            .map(|(t, p)| result.confusion.count(t, p))
+            .sum();
+        assert_eq!(total, ds.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! k-nearest-neighbour baseline classifier.
+
+use crate::dataset::Dataset;
+
+/// A k-NN classifier over Euclidean distance (used as the classifier
+/// ablation baseline against the SVM).
+///
+/// # Examples
+///
+/// ```
+/// use wimi_ml::dataset::Dataset;
+/// use wimi_ml::knn::KnnClassifier;
+///
+/// let mut ds = Dataset::new(vec!["lo".into(), "hi".into()]);
+/// for i in 0..5 {
+///     ds.push(vec![i as f64 * 0.1], 0);
+///     ds.push(vec![4.0 + i as f64 * 0.1], 1);
+/// }
+/// let knn = KnnClassifier::fit(ds, 3);
+/// assert_eq!(knn.predict(&[0.3]), 0);
+/// assert_eq!(knn.predict(&[4.1]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    train: Dataset,
+    k: usize,
+}
+
+impl KnnClassifier {
+    /// Stores the training set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the training-set size, or the
+    /// training set is empty.
+    pub fn fit(train: Dataset, k: usize) -> Self {
+        assert!(!train.is_empty(), "training set must be non-empty");
+        assert!(k >= 1, "k must be at least 1");
+        assert!(k <= train.len(), "k exceeds training-set size");
+        KnnClassifier { train, k }
+    }
+
+    /// Predicts by majority vote of the `k` nearest training samples;
+    /// ties break towards the closer class (summed inverse distance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query dimension differs from the training data.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.train.dim(), "query dimension mismatch");
+        let mut dists: Vec<(f64, usize)> = (0..self.train.len())
+            .map(|i| {
+                let (xi, yi) = self.train.sample(i);
+                let d2: f64 = xi.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, yi)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+
+        let mut votes = vec![0usize; self.train.n_classes()];
+        let mut weight = vec![0.0f64; self.train.n_classes()];
+        for &(d2, y) in dists.iter().take(self.k) {
+            votes[y] += 1;
+            weight[y] += 1.0 / (d2.sqrt() + 1e-12);
+        }
+        (0..votes.len())
+            .max_by(|&i, &j| {
+                votes[i]
+                    .cmp(&votes[j])
+                    .then(weight[i].partial_cmp(&weight[j]).unwrap())
+            })
+            .expect("at least one class")
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// The neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        for i in 0..6 {
+            ds.push(vec![i as f64 * 0.1, 0.0], 0);
+            ds.push(vec![5.0 + i as f64 * 0.1, 0.0], 1);
+        }
+        ds
+    }
+
+    #[test]
+    fn classifies_clear_cases() {
+        let knn = KnnClassifier::fit(toy(), 3);
+        assert_eq!(knn.predict(&[0.2, 0.0]), 0);
+        assert_eq!(knn.predict(&[5.2, 0.0]), 1);
+        assert_eq!(knn.k(), 3);
+    }
+
+    #[test]
+    fn k1_memorises_training_points() {
+        let ds = toy();
+        let knn = KnnClassifier::fit(ds.clone(), 1);
+        for i in 0..ds.len() {
+            let (x, y) = ds.sample(i);
+            assert_eq!(knn.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let knn = KnnClassifier::fit(toy(), 3);
+        let queries = vec![vec![0.1, 0.0], vec![5.4, 0.0]];
+        assert_eq!(knn.predict_batch(&queries), vec![0, 1]);
+    }
+
+    #[test]
+    fn tie_breaks_towards_closer_class() {
+        // k = 2 with one neighbour from each class: the nearer one wins.
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        ds.push(vec![0.0], 0);
+        ds.push(vec![1.0], 1);
+        let knn = KnnClassifier::fit(ds, 2);
+        assert_eq!(knn.predict(&[0.2]), 0);
+        assert_eq!(knn.predict(&[0.8]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn rejects_oversized_k() {
+        let _ = KnnClassifier::fit(toy(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn rejects_bad_query() {
+        let knn = KnnClassifier::fit(toy(), 1);
+        let _ = knn.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Classification metrics: accuracy and confusion matrices.
+
+use std::fmt;
+
+/// A confusion matrix: `counts[true][predicted]`.
+///
+/// Displays in the row-normalised style of the paper's Fig. 15/16.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+    class_names: Vec<String>,
+}
+
+impl ConfusionMatrix {
+    /// Builds from true/predicted label pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch, class list is empty, or any label is
+    /// out of range.
+    pub fn from_predictions(
+        truth: &[usize],
+        predicted: &[usize],
+        class_names: &[String],
+    ) -> Self {
+        assert_eq!(truth.len(), predicted.len(), "label vectors must align");
+        assert!(!class_names.is_empty(), "need at least one class");
+        let k = class_names.len();
+        let mut counts = vec![vec![0usize; k]; k];
+        for (&t, &p) in truth.iter().zip(predicted) {
+            assert!(t < k && p < k, "label out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix {
+            counts,
+            class_names: class_names.to_vec(),
+        }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Raw count for (true, predicted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn count(&self, truth: usize, predicted: usize) -> usize {
+        self.counts[truth][predicted]
+    }
+
+    /// Row-normalised rate for (true, predicted): the fraction of class
+    /// `truth` samples predicted as `predicted`. Returns 0 for empty rows.
+    pub fn rate(&self, truth: usize, predicted: usize) -> f64 {
+        let row: usize = self.counts[truth].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[truth][predicted] as f64 / row as f64
+        }
+    }
+
+    /// Overall accuracy: trace / total. Returns `NaN` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let correct: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal rates).
+    pub fn per_class_accuracy(&self) -> Vec<f64> {
+        (0..self.n_classes()).map(|i| self.rate(i, i)).collect()
+    }
+
+    /// Average of per-class recalls over populated classes (the "average
+    /// accuracy" the paper quotes).
+    pub fn mean_per_class_accuracy(&self) -> f64 {
+        let populated: Vec<f64> = (0..self.n_classes())
+            .filter(|&i| self.counts[i].iter().sum::<usize>() > 0)
+            .map(|i| self.rate(i, i))
+            .collect();
+        if populated.is_empty() {
+            f64::NAN
+        } else {
+            populated.iter().sum::<f64>() / populated.len() as f64
+        }
+    }
+
+    /// Class names.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = self.n_classes();
+        let width = self
+            .class_names
+            .iter()
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        write!(f, "{:>width$} |", "")?;
+        for name in &self.class_names {
+            write!(f, " {name:>width$}")?;
+        }
+        writeln!(f)?;
+        writeln!(f, "{}", "-".repeat((width + 2) * (k + 1)))?;
+        for t in 0..k {
+            write!(f, "{:>width$} |", self.class_names[t])?;
+            for p in 0..k {
+                let r = self.rate(t, p);
+                if r == 0.0 {
+                    write!(f, " {:>width$}", ".")?;
+                } else {
+                    write!(f, " {:>width$.2}", r)?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Plain accuracy between two label vectors.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch or are zero.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len(), "label vectors must align");
+    assert!(!truth.is_empty(), "need at least one sample");
+    truth
+        .iter()
+        .zip(predicted)
+        .filter(|(t, p)| t == p)
+        .count() as f64
+        / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(k: usize) -> Vec<String> {
+        (0..k).map(|i| format!("c{i}")).collect()
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let t = vec![0, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_predictions(&t, &t, &names(3));
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.per_class_accuracy(), vec![1.0, 1.0, 1.0]);
+        assert_eq!(cm.mean_per_class_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        let t = vec![0, 0, 0, 1, 1, 1];
+        let p = vec![0, 0, 1, 1, 1, 0];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, &names(2));
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.rate(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.rate(0, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.count(1, 0), 1);
+    }
+
+    #[test]
+    fn empty_class_rows_are_zero() {
+        let t = vec![0, 0];
+        let p = vec![0, 0];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, &names(2));
+        assert_eq!(cm.rate(1, 1), 0.0);
+        // Mean per-class accuracy only counts populated classes.
+        assert_eq!(cm.mean_per_class_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn display_renders_rates() {
+        let t = vec![0, 1];
+        let p = vec![0, 1];
+        let cm = ConfusionMatrix::from_predictions(&t, &p, &names(2));
+        let s = cm.to_string();
+        assert!(s.contains("c0"));
+        assert!(s.contains("1.00"));
+    }
+
+    #[test]
+    fn plain_accuracy() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn accuracy_rejects_mismatch() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn confusion_rejects_bad_labels() {
+        let _ = ConfusionMatrix::from_predictions(&[5], &[0], &names(2));
+    }
+}

@@ -1,0 +1,175 @@
+//! One-vs-one multiclass SVM.
+
+use crate::dataset::Dataset;
+use crate::svm::{BinarySvm, SvmParams};
+use rand::Rng;
+
+/// A multiclass SVM built from `k(k−1)/2` one-vs-one binary machines with
+/// majority voting (decision values break ties).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use wimi_ml::dataset::Dataset;
+/// use wimi_ml::multiclass::MulticlassSvm;
+/// use wimi_ml::svm::SvmParams;
+///
+/// let mut ds = Dataset::new(vec!["lo".into(), "hi".into()]);
+/// for i in 0..10 {
+///     ds.push(vec![i as f64 * 0.1], 0);
+///     ds.push(vec![5.0 + i as f64 * 0.1], 1);
+/// }
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng);
+/// assert_eq!(model.predict(&[0.2]), 0);
+/// assert_eq!(model.predict(&[5.3]), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MulticlassSvm {
+    machines: Vec<(usize, usize, BinarySvm)>,
+    n_classes: usize,
+}
+
+impl MulticlassSvm {
+    /// Trains one binary SVM per class pair. Pairs where either class has
+    /// no samples are skipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has fewer than two populated classes.
+    pub fn train<R: Rng + ?Sized>(ds: &Dataset, params: &SvmParams, rng: &mut R) -> Self {
+        let counts = ds.class_counts();
+        let populated = counts.iter().filter(|&&c| c > 0).count();
+        assert!(
+            populated >= 2,
+            "multiclass training needs at least two populated classes"
+        );
+        let k = ds.n_classes();
+        let mut machines = Vec::with_capacity(k * (k - 1) / 2);
+        for a in 0..k {
+            for b in (a + 1)..k {
+                if counts[a] == 0 || counts[b] == 0 {
+                    continue;
+                }
+                let mut xs = Vec::with_capacity(counts[a] + counts[b]);
+                let mut ys = Vec::with_capacity(counts[a] + counts[b]);
+                for i in 0..ds.len() {
+                    let (x, y) = ds.sample(i);
+                    if y == a {
+                        xs.push(x.to_vec());
+                        ys.push(1.0);
+                    } else if y == b {
+                        xs.push(x.to_vec());
+                        ys.push(-1.0);
+                    }
+                }
+                machines.push((a, b, BinarySvm::train(&xs, &ys, params, rng)));
+            }
+        }
+        MulticlassSvm {
+            machines,
+            n_classes: k,
+        }
+    }
+
+    /// Predicts the class of `x` by one-vs-one voting.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        let mut margins = vec![0.0f64; self.n_classes];
+        for (a, b, svm) in &self.machines {
+            let d = svm.decision(x);
+            if d >= 0.0 {
+                votes[*a] += 1;
+                margins[*a] += d;
+            } else {
+                votes[*b] += 1;
+                margins[*b] -= d;
+            }
+        }
+        // Majority vote; summed margins break ties.
+        (0..self.n_classes)
+            .max_by(|&i, &j| {
+                votes[i]
+                    .cmp(&votes[j])
+                    .then(margins[i].partial_cmp(&margins[j]).unwrap())
+            })
+            .expect("at least one class")
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of underlying binary machines.
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_blobs(n: usize) -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        let centers = [(0.0, 0.0), (4.0, 0.0), (2.0, 4.0)];
+        for (class, (cx, cy)) in centers.iter().enumerate() {
+            for i in 0..n {
+                let t = i as f64 * 0.9;
+                ds.push(vec![cx + 0.4 * t.sin(), cy + 0.4 * t.cos()], class);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn three_class_blobs_classify_perfectly() {
+        let ds = three_blobs(15);
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng);
+        assert_eq!(model.n_machines(), 3);
+        for i in 0..ds.len() {
+            let (x, y) = ds.sample(i);
+            assert_eq!(model.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn batch_prediction_matches_single() {
+        let ds = three_blobs(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng);
+        let xs: Vec<Vec<f64>> = ds.features().to_vec();
+        let batch = model.predict_batch(&xs);
+        for (i, &pred) in batch.iter().enumerate() {
+            assert_eq!(pred, model.predict(&xs[i]));
+        }
+    }
+
+    #[test]
+    fn empty_classes_are_skipped() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into(), "ghost".into()]);
+        for i in 0..10 {
+            ds.push(vec![i as f64 * 0.1], 0);
+            ds.push(vec![3.0 + i as f64 * 0.1], 1);
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng);
+        assert_eq!(model.n_machines(), 1);
+        assert_eq!(model.predict(&[0.0]), 0);
+        assert_eq!(model.predict(&[3.5]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two populated classes")]
+    fn rejects_single_class_data() {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()]);
+        ds.push(vec![1.0], 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng);
+    }
+}

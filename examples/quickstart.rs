@@ -1,0 +1,73 @@
+//! Quickstart: train WiMi on three liquids and identify an unseen sample.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use wimi::core::{MaterialDatabase, WiMi, WiMiConfig};
+use wimi::phy::csi::CsiSource;
+use wimi::phy::material::Liquid;
+use wimi::phy::scenario::{Scenario, Simulator};
+
+fn main() {
+    // A lab deployment: router 2 m from a 3-antenna receiver, the paper's
+    // 14.3 cm plastic beaker on the line-of-sight path.
+    let liquids = [Liquid::PureWater, Liquid::Milk, Liquid::Oil];
+    let extractor = WiMi::new(WiMiConfig::default());
+
+    // --- Training: measure each liquid a few times.
+    // Each measurement is the paper's protocol: capture CSI with the empty
+    // beaker (baseline), pour the liquid, capture again.
+    let mut db = MaterialDatabase::new();
+    for trial in 0..10u64 {
+        for liquid in liquids {
+            let mut sim = Simulator::new(Scenario::builder().build(), 100 + trial);
+            let baseline = sim.capture(20);
+            sim.set_liquid(Some(liquid.into()));
+            let target = sim.capture(20);
+            match extractor.extract_feature(&baseline, &target) {
+                Ok(feature) => {
+                    println!(
+                        "train {:<10} trial {trial}: omega = {:.4} (gamma = {})",
+                        liquid.name(),
+                        feature.omega_mean(),
+                        feature.gamma
+                    );
+                    db.add(liquid.name(), feature);
+                }
+                Err(e) => println!("train {:<10} trial {trial}: re-measure ({e})", liquid.name()),
+            }
+        }
+    }
+
+    let mut wimi = WiMi::new(WiMiConfig::default());
+    wimi.train(&db);
+
+    // --- Identification of unseen measurements.
+    println!("\nidentifying unseen samples:");
+    let mut correct = 0;
+    let mut total = 0;
+    for trial in 0..5u64 {
+        for liquid in liquids {
+            let mut sim = Simulator::new(Scenario::builder().build(), 9_000 + trial);
+            let baseline = sim.capture(20);
+            sim.set_liquid(Some(liquid.into()));
+            let target = sim.capture(20);
+            match wimi.identify(&baseline, &target) {
+                Ok(id) => {
+                    let ok = id.material == liquid.name();
+                    total += 1;
+                    correct += ok as usize;
+                    println!(
+                        "  truth {:<10} -> predicted {:<10} {}",
+                        liquid.name(),
+                        id.material,
+                        if ok { "✓" } else { "✗" }
+                    );
+                }
+                Err(e) => println!("  truth {:<10} -> measurement rejected ({e})", liquid.name()),
+            }
+        }
+    }
+    println!("\naccuracy: {correct}/{total}");
+}

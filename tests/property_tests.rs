@@ -1,0 +1,123 @@
+//! Property-based tests over core invariants of the DSP, physics, and
+//! geometry substrates.
+
+use proptest::prelude::*;
+use wimi::dsp::stats::{circular_resultant, mean, variance, wrap_to_pi};
+use wimi::dsp::wavelet::{swt_decompose, swt_reconstruct, Wavelet};
+use wimi::phy::geometry::{Cylinder, Point, Ray};
+use wimi::phy::material::{Permittivity, PropagationConstants};
+use wimi::phy::units::{Hertz, Meters};
+
+proptest! {
+    #[test]
+    fn swt_perfect_reconstruction(
+        xs in proptest::collection::vec(-100.0f64..100.0, 8..120),
+        levels in 1usize..5,
+        wavelet_idx in 0usize..4,
+    ) {
+        let wavelet = Wavelet::ALL[wavelet_idx];
+        let dec = swt_decompose(&xs, wavelet, levels);
+        let back = swt_reconstruct(&dec);
+        for (a, b) in xs.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8, "reconstruction error {}", (a - b).abs());
+        }
+    }
+
+    #[test]
+    fn wrap_to_pi_is_idempotent_and_bounded(theta in -1000.0f64..1000.0) {
+        let w = wrap_to_pi(theta);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12);
+        prop_assert!(w <= std::f64::consts::PI + 1e-12);
+        prop_assert!((wrap_to_pi(w) - w).abs() < 1e-12);
+        // Wrapping preserves the angle modulo 2π.
+        let diff = (theta - w) / std::f64::consts::TAU;
+        prop_assert!((diff - diff.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_resultant_is_within_unit_interval(
+        angles in proptest::collection::vec(-10.0f64..10.0, 1..200),
+    ) {
+        let r = circular_resultant(&angles);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+    }
+
+    #[test]
+    fn variance_is_translation_invariant(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..100),
+        shift in -50.0f64..50.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v0 = variance(&xs);
+        let v1 = variance(&shifted);
+        prop_assert!((v0 - v1).abs() < 1e-6 * (1.0 + v0.abs()), "{v0} vs {v1}");
+        prop_assert!((mean(&shifted) - mean(&xs) - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn propagation_constants_monotone_in_loss(
+        eps_real in 1.5f64..90.0,
+        loss_a in 0.0f64..20.0,
+        loss_gap in 0.1f64..20.0,
+    ) {
+        let f = Hertz::from_ghz(5.24);
+        let low = PropagationConstants::from_permittivity(
+            Permittivity::new(eps_real, loss_a), f);
+        let high = PropagationConstants::from_permittivity(
+            Permittivity::new(eps_real, loss_a + loss_gap), f);
+        // More loss → more attenuation, and β never decreases.
+        prop_assert!(high.alpha > low.alpha);
+        prop_assert!(high.beta >= low.beta);
+    }
+
+    #[test]
+    fn beta_grows_with_permittivity(
+        eps_a in 1.5f64..80.0,
+        gap in 0.5f64..20.0,
+    ) {
+        let f = Hertz::from_ghz(5.24);
+        let low = PropagationConstants::from_permittivity(Permittivity::new(eps_a, 0.0), f);
+        let high = PropagationConstants::from_permittivity(Permittivity::new(eps_a + gap, 0.0), f);
+        prop_assert!(high.beta > low.beta);
+    }
+
+    #[test]
+    fn chord_length_bounded_by_diameter(
+        center_y in -0.2f64..0.2,
+        radius_cm in 1.0f64..20.0,
+        ray_y in -0.5f64..0.5,
+    ) {
+        let cyl = Cylinder::new(Point::new(1.0, center_y), Meters::from_cm(radius_cm));
+        let ray = Ray::new(Point::new(0.0, 0.0), Point::new(2.0, ray_y));
+        let chord = cyl.chord_length(ray);
+        prop_assert!(chord.value() >= 0.0);
+        prop_assert!(chord.value() <= 2.0 * cyl.radius.value() + 1e-12);
+    }
+
+    #[test]
+    fn chord_shrinks_as_ray_moves_off_center(
+        radius_cm in 3.0f64..15.0,
+        off1 in 0.0f64..0.02,
+        extra in 0.001f64..0.05,
+    ) {
+        let cyl = Cylinder::new(Point::new(1.0, 0.0), Meters::from_cm(radius_cm));
+        // Horizontal rays at increasing |y| offsets.
+        let near = Ray::new(Point::new(0.0, off1), Point::new(2.0, off1));
+        let far = Ray::new(Point::new(0.0, off1 + extra), Point::new(2.0, off1 + extra));
+        prop_assert!(cyl.chord_length(far).value() <= cyl.chord_length(near).value() + 1e-12);
+    }
+
+    #[test]
+    fn material_feature_positive_for_lossy_dense_media(
+        eps_real in 2.0f64..90.0,
+        eps_imag in 0.05f64..40.0,
+    ) {
+        let f = Hertz::from_ghz(5.24);
+        let pc = PropagationConstants::from_permittivity(
+            Permittivity::new(eps_real, eps_imag), f);
+        let air = PropagationConstants::air(f);
+        let omega = pc.material_feature(air);
+        prop_assert!(omega > 0.0, "omega = {omega}");
+        prop_assert!(omega.is_finite());
+    }
+}

@@ -1,0 +1,159 @@
+//! Integration tests validating the simulator against the paper's
+//! physical equations (Eq. 2–4, 18–21).
+
+use wimi::phy::csi::CsiSource;
+use wimi::phy::hardware::HardwareProfile;
+use wimi::phy::material::{Dielectric, Liquid, PropagationConstants};
+use wimi::phy::scenario::{Scenario, Simulator};
+use wimi::phy::units::Hertz;
+
+fn quiet_scenario() -> Scenario {
+    let mut b = Scenario::builder();
+    b.hardware(HardwareProfile::ideal());
+    b.environment(wimi::phy::channel::Environment::EmptyHall);
+    b.build()
+}
+
+/// Circular mean helper over packets.
+fn mean_phase_diff(cap: &wimi::phy::csi::CsiCapture, a: usize, b: usize, k: usize) -> f64 {
+    let (s, c) = cap
+        .iter()
+        .map(|p| (p.get(a, k) * p.get(b, k).conj()).arg())
+        .fold((0.0f64, 0.0f64), |(s, c), x| (s + x.sin(), c + x.cos()));
+    s.atan2(c)
+}
+
+#[test]
+fn measured_delta_theta_matches_equation_18() {
+    // ΔΘ = −(D₁ − D₂)(β_tar − β_free), modulo 2π.
+    let scenario = quiet_scenario();
+    let f: Hertz = scenario.channel().subcarrier_freq(15);
+    let air = PropagationConstants::air(f);
+
+    for liquid in [Liquid::Oil, Liquid::Honey, Liquid::Milk] {
+        let pc = liquid.propagation(f);
+        let mut sim = Simulator::new(scenario.clone(), 11);
+        let paths = sim.liquid_paths();
+        let base = Simulator::new(scenario.clone(), 11).capture(150);
+        sim.set_liquid(Some(liquid.into()));
+        let tar = sim.capture(150);
+
+        let measured = wimi::dsp::stats::wrap_to_pi(
+            mean_phase_diff(&tar, 0, 1, 15) - mean_phase_diff(&base, 0, 1, 15),
+        );
+        let expected = wimi::dsp::stats::wrap_to_pi(
+            -(paths[0] - paths[1]).value() * (pc.beta - air.beta),
+        );
+        let err = wimi::dsp::stats::wrap_to_pi(measured - expected).abs();
+        assert!(
+            err < 0.3,
+            "{}: measured {measured:.3}, expected {expected:.3}",
+            liquid.name()
+        );
+    }
+}
+
+#[test]
+fn measured_delta_psi_matches_equation_19() {
+    // ΔΨ = e^{−(D₁ − D₂)(α_tar − α_free)} — the common attenuation (and
+    // the leakage floor) cancel in the cross-antenna ratio.
+    let scenario = quiet_scenario();
+    let f: Hertz = scenario.channel().subcarrier_freq(15);
+    let air = PropagationConstants::air(f);
+
+    for liquid in [Liquid::Honey, Liquid::Milk] {
+        let pc = liquid.propagation(f);
+        let mut sim = Simulator::new(scenario.clone(), 13);
+        let paths = sim.liquid_paths();
+        let base = Simulator::new(scenario.clone(), 13).capture(150);
+        sim.set_liquid(Some(liquid.into()));
+        let tar = sim.capture(150);
+
+        let amp = |cap: &wimi::phy::csi::CsiCapture, a: usize| {
+            wimi::dsp::stats::mean(&cap.amplitude_series(a, 15))
+        };
+        let measured = (amp(&tar, 0) / amp(&tar, 1)) / (amp(&base, 0) / amp(&base, 1));
+        let expected = (-(paths[0] - paths[1]).value() * (pc.alpha - air.alpha)).exp();
+        let rel = (measured.ln() - expected.ln()).abs() / expected.ln().abs().max(0.1);
+        assert!(
+            rel < 0.25,
+            "{}: measured ΔΨ {measured:.3}, expected {expected:.3}",
+            liquid.name()
+        );
+    }
+}
+
+#[test]
+fn omega_ground_truth_orders_liquids_consistently() {
+    // The feature Ω̄ should rank liquids the same way at both band edges
+    // (frequency-flat over a 20 MHz channel).
+    let f_lo = Hertz(5.24e9 - 8.75e6);
+    let f_hi = Hertz(5.24e9 + 8.75e6);
+    let order = |f: Hertz| -> Vec<&'static str> {
+        let air = PropagationConstants::air(f);
+        let mut feats: Vec<(&str, f64)> = wimi::phy::material::LIQUIDS
+            .iter()
+            .map(|l| (l.name(), l.propagation(f).material_feature(air)))
+            .collect();
+        feats.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        feats.into_iter().map(|(n, _)| n).collect()
+    };
+    assert_eq!(order(f_lo), order(f_hi));
+}
+
+#[test]
+fn leakage_floor_preserves_differential_attenuation() {
+    // The floor boosts the common attenuation only; the per-antenna ratio
+    // must stay exactly e^{−α(D_a − D_b)} for a floored liquid (water).
+    let scenario = quiet_scenario();
+    let f: Hertz = scenario.channel().subcarrier_freq(15);
+    let air = PropagationConstants::air(f);
+    let pc = Liquid::PureWater.propagation(f);
+
+    let mut sim = Simulator::new(scenario.clone(), 17);
+    let paths = sim.liquid_paths();
+    sim.set_liquid(Some(Liquid::PureWater.into()));
+    let tar = sim.capture(100);
+    let base = Simulator::new(scenario, 17).capture(100);
+
+    let amp = |cap: &wimi::phy::csi::CsiCapture, a: usize| {
+        wimi::dsp::stats::mean(&cap.amplitude_series(a, 15))
+    };
+    // Water's bulk loss is far below the floor, so the floor is active…
+    assert!(amp(&tar, 1) > 0.01, "through-signal collapsed");
+    // …and the differential still matches the equations.
+    let measured = ((amp(&tar, 0) / amp(&tar, 1)) / (amp(&base, 0) / amp(&base, 1))).ln();
+    let expected = -(paths[0] - paths[1]).value() * (pc.alpha - air.alpha);
+    assert!(
+        (measured - expected).abs() / expected.abs() < 0.25,
+        "measured lnΔΨ {measured:.3}, expected {expected:.3}"
+    );
+}
+
+#[test]
+fn packet_averaging_suppresses_dynamic_multipath() {
+    // Phase-difference spread must shrink roughly as 1/√N with packet
+    // count — the mechanism behind the paper's Fig. 18.
+    let mut b = Scenario::builder();
+    b.environment(wimi::phy::channel::Environment::Library);
+    let scenario = b.build();
+
+    let spread_for = |n: usize, seed: u64| -> f64 {
+        let trials = 24;
+        let mut means = Vec::with_capacity(trials);
+        for t in 0..trials {
+            let mut sim = Simulator::new(scenario.clone(), seed + t as u64);
+            sim.set_liquid(Some(Liquid::Milk.into()));
+            let cap = sim.capture(n);
+            means.push(mean_phase_diff(&cap, 0, 1, 15));
+        }
+        // Spread of the per-capture circular means across trials.
+        1.0 - wimi::dsp::stats::circular_resultant(&means)
+    };
+    let small = spread_for(4, 100);
+    let large = spread_for(32, 100);
+    assert!(
+        large < small,
+        "averaging should tighten estimates: 4 pkts → {small:.4}, 32 pkts → {large:.4}"
+    );
+}
