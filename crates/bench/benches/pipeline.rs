@@ -9,6 +9,7 @@ use wimi_core::phase::PhaseDifferenceProfile;
 use wimi_core::{WiMi, WiMiConfig};
 use wimi_dsp::filters::{butterworth_filtfilt, median_filter, slide_filter};
 use wimi_dsp::wavelet::{correlation_denoise, swt_decompose, Wavelet};
+use wimi_experiments::harness::{run_identification, Material, RunOptions};
 use wimi_ml::dataset::Dataset;
 use wimi_ml::multiclass::MulticlassSvm;
 use wimi_ml::svm::SvmParams;
@@ -16,14 +17,67 @@ use wimi_phy::csi::CsiSource;
 use wimi_phy::scenario::{Scenario, Simulator};
 
 /// Simulator throughput: CSI packet generation (the substrate for every
-/// figure's workload).
+/// figure's workload). The cached/uncached comparison measures the win
+/// from memoising the LoS response and target insertion factors — the
+/// uncached variant forces a recompute before every packet, which is what
+/// every capture paid before the caches existed.
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     for &packets in &[5usize, 20, 100] {
         group.bench_with_input(BenchmarkId::new("capture", packets), &packets, |b, &n| {
             let mut sim = Simulator::new(Scenario::builder().build(), 7);
+            sim.set_liquid(Some(wimi_phy::material::Liquid::Milk.into()));
             b.iter(|| black_box(sim.capture(n)));
         });
+        group.bench_with_input(
+            BenchmarkId::new("capture_uncached", packets),
+            &packets,
+            |b, &n| {
+                let mut sim = Simulator::new(Scenario::builder().build(), 7);
+                sim.set_liquid(Some(wimi_phy::material::Liquid::Milk.into()));
+                b.iter(|| {
+                    let mut packets_out = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        sim.invalidate_caches();
+                        packets_out.push(sim.packet());
+                    }
+                    black_box(packets_out)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batch identification: N full (trial × material) measurement pairs
+/// through capture, extraction, and classification — the workload
+/// `run_identification` fans out over worker threads.
+fn bench_batch_identification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_identification");
+    group.sample_size(10);
+    let materials = vec![
+        Material::catalog(wimi_phy::material::Liquid::PureWater),
+        Material::catalog(wimi_phy::material::Liquid::Honey),
+        Material::catalog(wimi_phy::material::Liquid::Oil),
+    ];
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("run_identification_3x4", threads),
+            &threads,
+            |b, &t| {
+                std::env::set_var("WIMI_THREADS", t.to_string());
+                b.iter(|| {
+                    let opts = RunOptions {
+                        n_train: 4,
+                        n_test: 2,
+                        packets: 10,
+                        ..RunOptions::default()
+                    };
+                    black_box(run_identification(&materials, &opts).accuracy())
+                });
+                std::env::remove_var("WIMI_THREADS");
+            },
+        );
     }
     group.finish();
 }
@@ -32,7 +86,9 @@ fn bench_simulator(c: &mut Criterion) {
 fn bench_denoising(c: &mut Criterion) {
     let series = fixtures::noisy_series(256);
     let mut group = c.benchmark_group("denoising_fig7");
-    group.bench_function("median", |b| b.iter(|| black_box(median_filter(&series, 5))));
+    group.bench_function("median", |b| {
+        b.iter(|| black_box(median_filter(&series, 5)))
+    });
     group.bench_function("slide", |b| b.iter(|| black_box(slide_filter(&series, 5))));
     group.bench_function("butterworth", |b| {
         b.iter(|| black_box(butterworth_filtfilt(&series, 0.25)))
@@ -77,7 +133,14 @@ fn bench_amplitude(c: &mut Criterion) {
     let (_, tar) = fixtures::capture_pair(20);
     let mut group = c.benchmark_group("amplitude_fig14");
     group.bench_function("ratio_profile_raw", |b| {
-        b.iter(|| black_box(AmplitudeRatioProfile::compute(&tar, 0, 1, &AmplitudeConfig::raw())))
+        b.iter(|| {
+            black_box(AmplitudeRatioProfile::compute(
+                &tar,
+                0,
+                1,
+                &AmplitudeConfig::raw(),
+            ))
+        })
     });
     group.bench_function("ratio_profile_denoised", |b| {
         b.iter(|| {
@@ -160,6 +223,7 @@ fn bench_end_to_end(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_simulator,
+    bench_batch_identification,
     bench_denoising,
     bench_swt,
     bench_phase_calibration,

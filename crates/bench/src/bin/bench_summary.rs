@@ -1,0 +1,94 @@
+//! Writes `BENCH_PR1.json` at the repo root: wall-clock timings of the
+//! hot pipeline stages, comparing the cached simulator against the
+//! forced-recompute path and single- against multi-threaded
+//! identification runs.
+//!
+//! Run from the workspace root with
+//! `cargo run --release -p wimi-bench --bin bench_summary`.
+//! JSON is hand-rolled because the workspace deliberately has no serde
+//! dependency.
+
+use std::time::Instant;
+use wimi_experiments::harness::{run_identification, Material, RunOptions};
+use wimi_phy::csi::CsiSource;
+use wimi_phy::material::Liquid;
+use wimi_phy::scenario::{Scenario, Simulator};
+
+/// Median wall-clock seconds of `runs` invocations of `f`.
+fn time_median<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn json_field(out: &mut String, indent: &str, key: &str, value: f64, last: bool) {
+    out.push_str(&format!(
+        "{indent}\"{key}\": {value:.6}{}\n",
+        if last { "" } else { "," }
+    ));
+}
+
+fn main() {
+    let packets = 100usize;
+    let capture_runs = 30usize;
+
+    // Stage 1: simulator capture, cached vs forced-recompute.
+    let mut sim = Simulator::new(Scenario::builder().build(), 7);
+    sim.set_liquid(Some(Liquid::Milk.into()));
+    let cached = time_median(capture_runs, || {
+        std::hint::black_box(sim.capture(packets));
+    });
+    let uncached = time_median(capture_runs, || {
+        for _ in 0..packets {
+            sim.invalidate_caches();
+            std::hint::black_box(sim.packet());
+        }
+    });
+
+    // Stage 2: identification runs, 1 vs 4 worker threads, on the paper's
+    // ten-liquid lab preset scaled down to bench-friendly trial counts.
+    let materials: Vec<Material> = wimi_experiments::harness::paper_liquids();
+    let run_with_threads = |threads: usize| -> f64 {
+        std::env::set_var("WIMI_THREADS", threads.to_string());
+        let t = time_median(3, || {
+            let opts = RunOptions {
+                n_train: 3,
+                n_test: 2,
+                packets: 10,
+                ..RunOptions::default()
+            };
+            std::hint::black_box(run_identification(&materials, &opts).accuracy());
+        });
+        std::env::remove_var("WIMI_THREADS");
+        t
+    };
+    let ident_1 = run_with_threads(1);
+    let ident_4 = run_with_threads(4);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"packets_per_capture\": {packets},\n"));
+    out.push_str(&format!("  \"host_cpus\": {cores},\n"));
+    out.push_str("  \"simulator_capture\": {\n");
+    json_field(&mut out, "    ", "cached_s", cached, false);
+    json_field(&mut out, "    ", "uncached_s", uncached, false);
+    json_field(&mut out, "    ", "speedup", uncached / cached, true);
+    out.push_str("  },\n");
+    out.push_str("  \"run_identification_10_liquids\": {\n");
+    json_field(&mut out, "    ", "threads_1_s", ident_1, false);
+    json_field(&mut out, "    ", "threads_4_s", ident_4, false);
+    json_field(&mut out, "    ", "speedup", ident_1 / ident_4, true);
+    out.push_str("  }\n}\n");
+
+    std::fs::write("BENCH_PR1.json", &out).expect("write BENCH_PR1.json");
+    print!("{out}");
+}

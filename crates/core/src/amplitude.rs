@@ -9,7 +9,7 @@
 //!    variation cancels (paper Fig. 8).
 
 use wimi_dsp::outlier::reject_outliers_3sigma;
-use wimi_dsp::stats::{mean, variance};
+use wimi_dsp::stats::{median, variance};
 use wimi_dsp::wavelet::CorrelationDenoiser;
 use wimi_phy::csi::CsiCapture;
 
@@ -64,7 +64,11 @@ impl AmplitudeConfig {
 pub struct AmplitudeRatioProfile {
     /// Antenna pair (a, b).
     pub pair: (usize, usize),
-    /// Mean cleaned ratio `|H_a|/|H_b|` per subcarrier.
+    /// Median cleaned ratio `|H_a|/|H_b|` per subcarrier. The median (not
+    /// the arithmetic mean) because the per-packet ratio is heavy-tailed:
+    /// a single packet catching the denominator antenna in a deep fade
+    /// skews the mean of a 20-packet capture enough to corrupt `ln ΔΨ`
+    /// for low-loss liquids.
     pub mean: Vec<f64>,
     /// Variance of the cleaned per-packet ratio per subcarrier.
     pub variance: Vec<f64>,
@@ -99,7 +103,7 @@ impl AmplitudeRatioProfile {
                 mean_out.push(f64::NAN);
                 var_out.push(f64::NAN);
             } else {
-                mean_out.push(mean(&ratio));
+                mean_out.push(median(&ratio));
                 var_out.push(variance(&ratio));
             }
         }
@@ -123,7 +127,12 @@ impl AmplitudeRatioProfile {
     /// Mean ratio variance across subcarriers — the pair-stability score
     /// for antenna selection (paper Fig. 10b).
     pub fn mean_variance(&self) -> f64 {
-        let finite: Vec<f64> = self.variance.iter().copied().filter(|v| v.is_finite()).collect();
+        let finite: Vec<f64> = self
+            .variance
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
         if finite.is_empty() {
             f64::NAN
         } else {
@@ -144,6 +153,7 @@ pub fn per_antenna_amplitude_variance(capture: &CsiCapture, antenna: usize) -> V
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wimi_dsp::stats::mean;
     use wimi_phy::csi::CsiSource;
     use wimi_phy::scenario::{Scenario, Simulator};
 
@@ -171,9 +181,7 @@ mod tests {
         let ant0 = per_antenna_amplitude_variance(&cap, 0);
         // Compare normalised variation (variance / mean²) averaged over
         // subcarriers.
-        let mean_amp: Vec<f64> = (0..30)
-            .map(|k| mean(&cap.amplitude_series(0, k)))
-            .collect();
+        let mean_amp: Vec<f64> = (0..30).map(|k| mean(&cap.amplitude_series(0, k))).collect();
         let cv_ant: f64 = (0..30)
             .map(|k| ant0[k] / (mean_amp[k] * mean_amp[k]))
             .sum::<f64>()
@@ -203,7 +211,9 @@ mod tests {
 
     #[test]
     fn clean_series_respects_flags() {
-        let mut series: Vec<f64> = (0..64).map(|i| 1.0 + 0.01 * (i as f64 * 0.4).sin()).collect();
+        let mut series: Vec<f64> = (0..64)
+            .map(|i| 1.0 + 0.01 * (i as f64 * 0.4).sin())
+            .collect();
         series[30] = 50.0;
         let raw = AmplitudeConfig::raw().clean_series(&series);
         assert_eq!(raw, series);

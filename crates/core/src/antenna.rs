@@ -10,21 +10,16 @@ use crate::phase::PhaseDifferenceProfile;
 use wimi_phy::csi::CsiCapture;
 
 /// How the pipeline chooses which antenna pair(s) to use.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum PairSelection {
     /// Score all pairs on the baseline capture and use the most stable
     /// (the paper's method).
+    #[default]
     Best,
     /// Use one explicit pair.
     Fixed(usize, usize),
     /// Use every pair and concatenate their features (ablation).
     All,
-}
-
-impl Default for PairSelection {
-    fn default() -> Self {
-        PairSelection::Best
-    }
 }
 
 /// Stability score of one antenna pair.
@@ -89,7 +84,11 @@ impl PairSelection {
     ///
     /// Panics if a fixed pair is invalid (equal or out of range) or the
     /// capture has fewer than two antennas.
-    pub fn resolve(&self, capture: &CsiCapture, amp_config: &AmplitudeConfig) -> Vec<(usize, usize)> {
+    pub fn resolve(
+        &self,
+        capture: &CsiCapture,
+        amp_config: &AmplitudeConfig,
+    ) -> Vec<(usize, usize)> {
         let n = capture.n_antennas();
         assert!(n >= 2, "pair selection needs at least two antennas");
         match self {

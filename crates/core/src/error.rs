@@ -40,7 +40,10 @@ impl fmt::Display for FeatureError {
                  penetrate the target"
             ),
             FeatureError::DegenerateAmplitude => {
-                write!(f, "amplitude ratio is degenerate (blocked or saturated link)")
+                write!(
+                    f,
+                    "amplitude ratio is degenerate (blocked or saturated link)"
+                )
             }
         }
     }
@@ -87,7 +90,9 @@ mod tests {
 
     #[test]
     fn display_is_meaningful() {
-        assert!(FeatureError::EmptyCapture.to_string().contains("no packets"));
+        assert!(FeatureError::EmptyCapture
+            .to_string()
+            .contains("no packets"));
         assert!(FeatureError::NoConsistentFeature {
             best_dispersion: 1.5
         }

@@ -114,9 +114,18 @@ impl MaterialFeature {
         subcarriers: &[usize],
         config: &FeatureConfig,
     ) -> Result<MaterialFeature, FeatureError> {
-        assert_eq!(phase_base.pair, phase_tar.pair, "phase profiles pair mismatch");
-        assert_eq!(amp_base.pair, amp_tar.pair, "amplitude profiles pair mismatch");
-        assert_eq!(phase_base.pair, amp_base.pair, "phase/amplitude pair mismatch");
+        assert_eq!(
+            phase_base.pair, phase_tar.pair,
+            "phase profiles pair mismatch"
+        );
+        assert_eq!(
+            amp_base.pair, amp_tar.pair,
+            "amplitude profiles pair mismatch"
+        );
+        assert_eq!(
+            phase_base.pair, amp_base.pair,
+            "phase/amplitude pair mismatch"
+        );
         assert!(!subcarriers.is_empty(), "need at least one subcarrier");
 
         // ΔΘ_k (wrapped) per selected subcarrier; ΔΨ reported per selected
@@ -140,7 +149,8 @@ impl MaterialFeature {
             delta_theta.push(dt);
             delta_psi.push(tar_ratio / base_ratio);
         }
-        let ln_psi_band = band_ln_psi(amp_base, amp_tar).ok_or(FeatureError::DegenerateAmplitude)?;
+        let ln_psi_band =
+            band_ln_psi(amp_base, amp_tar).ok_or(FeatureError::DegenerateAmplitude)?;
 
         // γ resolution for a single pair: a low-loss liquid cannot have
         // wrapped (γ = 0); a lossy one picks the γ whose unwrapped phase
@@ -453,7 +463,16 @@ impl MaterialFeature {
                 }
             }
         }
-        if resolved.is_empty() {
+        // With three antennas every measurement offers three pairs; a
+        // measurement where fewer than two of them resolve leaves the
+        // cross-pair agreement gate below with nothing to check, and a
+        // single noise-dominated pair (tiny ΔΘ and ln ΔΨ both near the
+        // noise floor) then sails through with a fabricated Ω̄. Refuse
+        // instead — the operator re-seats the beaker and retakes. The
+        // single-pair case is still served by [`Self::extract`] for
+        // genuine two-antenna hardware.
+        let min_resolved = if inputs.len() >= 2 { 2 } else { 1 };
+        if resolved.len() < min_resolved {
             return Err(FeatureError::NoConsistentFeature {
                 best_dispersion: f64::INFINITY,
             });
@@ -558,7 +577,11 @@ fn slope_unwrapped_estimate(
     let mut prev = 0.0f64;
     for k in 0..n {
         let dt = wrap_to_pi(phase_tar.mean[k] - phase_base.mean[k]);
-        let un = if k == 0 { dt } else { prev + wrap_to_pi(dt - prev) };
+        let un = if k == 0 {
+            dt
+        } else {
+            prev + wrap_to_pi(dt - prev)
+        };
         series.push(un);
         prev = un;
     }
@@ -739,15 +762,9 @@ mod tests {
     fn recovers_omega_without_wrapping() {
         // Oil-like: ΔΘ < π, γ = 0.
         let (pb, pt, ab, at) = synthetic(0.007, 2.8, 65.0, 4);
-        let feat = MaterialFeature::extract(
-            &pb,
-            &pt,
-            &ab,
-            &at,
-            &[0, 1, 2, 3],
-            &FeatureConfig::default(),
-        )
-        .unwrap();
+        let feat =
+            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &FeatureConfig::default())
+                .unwrap();
         assert_eq!(feat.gamma, 0);
         let expect = 2.8 / 65.0;
         assert!(
@@ -762,15 +779,9 @@ mod tests {
         // Water-like: ΔD·(β−β₀) ≈ 6.1 rad of phase *drop* → the wrapped
         // measurement needs γ = −1 to recover the true −6.1 rad.
         let (pb, pt, ab, at) = synthetic(0.0073, 110.0, 830.0, 4);
-        let feat = MaterialFeature::extract(
-            &pb,
-            &pt,
-            &ab,
-            &at,
-            &[0, 1, 2, 3],
-            &FeatureConfig::default(),
-        )
-        .unwrap();
+        let feat =
+            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &FeatureConfig::default())
+                .unwrap();
         assert_eq!(feat.gamma, -1);
         let expect = 110.0 / 830.0;
         assert!(
@@ -801,15 +812,9 @@ mod tests {
         // Antenna 2's chord longer than antenna 1's: both ΔΘ and ln ΔΨ flip
         // sign; Ω̄ must come out the same.
         let (pb, pt, ab, at) = synthetic(-0.006, 110.0, 830.0, 4);
-        let feat = MaterialFeature::extract(
-            &pb,
-            &pt,
-            &ab,
-            &at,
-            &[0, 1, 2, 3],
-            &FeatureConfig::default(),
-        )
-        .unwrap();
+        let feat =
+            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &FeatureConfig::default())
+                .unwrap();
         let expect = 110.0 / 830.0;
         assert!(
             (feat.omega_mean() - expect).abs() / expect < 0.05,
@@ -849,39 +854,24 @@ mod tests {
             max_dispersion: 0.3,
         };
         let res = MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg);
-        assert!(matches!(
-            res,
-            Err(FeatureError::NoConsistentFeature { .. })
-        ));
+        assert!(matches!(res, Err(FeatureError::NoConsistentFeature { .. })));
     }
 
     #[test]
     fn rejects_degenerate_amplitude() {
         let (pb, pt, ab, mut at) = synthetic(0.007, 2.8, 65.0, 4);
         at.mean[2] = 0.0;
-        let res = MaterialFeature::extract(
-            &pb,
-            &pt,
-            &ab,
-            &at,
-            &[0, 1, 2, 3],
-            &FeatureConfig::default(),
-        );
+        let res =
+            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &FeatureConfig::default());
         assert_eq!(res, Err(FeatureError::DegenerateAmplitude));
     }
 
     #[test]
     fn as_vector_matches_omega() {
         let (pb, pt, ab, at) = synthetic(0.007, 2.8, 65.0, 3);
-        let feat = MaterialFeature::extract(
-            &pb,
-            &pt,
-            &ab,
-            &at,
-            &[0, 1, 2],
-            &FeatureConfig::default(),
-        )
-        .unwrap();
+        let feat =
+            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2], &FeatureConfig::default())
+                .unwrap();
         assert_eq!(feat.as_vector(), feat.omega);
         assert_eq!(feat.as_vector().len(), 3);
         assert!(feat.dispersion < 0.1);
@@ -892,8 +882,7 @@ mod tests {
         // Water-like vs oil-like targets must yield clearly different Ω̄.
         let cfg = FeatureConfig::default();
         let (pb, pt, ab, at) = synthetic(0.007, 110.0, 830.0, 4);
-        let water =
-            MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg).unwrap();
+        let water = MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg).unwrap();
         let (pb, pt, ab, at) = synthetic(0.007, 2.8, 65.0, 4);
         let oil = MaterialFeature::extract(&pb, &pt, &ab, &at, &[0, 1, 2, 3], &cfg).unwrap();
         assert!((water.omega_mean() - oil.omega_mean()).abs() > 0.05);

@@ -75,6 +75,14 @@ pub mod phase;
 pub mod pipeline;
 pub mod subcarrier;
 
+/// Scoped-thread parallel fan-out (worker count from `WIMI_THREADS`).
+///
+/// The implementation lives in `wimi_ml::par` so the SVM trainer below
+/// this crate in the dependency graph can share it; it is re-exported
+/// here because the extraction pipeline and the experiment harness are
+/// its other consumers.
+pub use wimi_ml::par;
+
 pub use amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
 pub use antenna::{PairScore, PairSelection};
 pub use database::MaterialDatabase;

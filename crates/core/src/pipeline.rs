@@ -137,9 +137,16 @@ impl WiMi {
             PairSelection::Fixed(a, b) => self.extract_for_pair(baseline, target, *a, *b),
             PairSelection::Best => self.extract_joint(baseline, target),
             PairSelection::All => {
+                // Every pair extracts independently, so fan out across
+                // workers; errors surface in ascending pair order exactly
+                // as the serial loop reported them.
+                let pairs = crate::antenna::enumerate_pairs(baseline.n_antennas());
+                let extracted = crate::par::map(&pairs, |_, &(a, b)| {
+                    self.extract_for_pair(baseline, target, a, b)
+                });
                 let mut combined: Option<MaterialFeature> = None;
-                for (a, b) in crate::antenna::enumerate_pairs(baseline.n_antennas()) {
-                    let f = self.extract_for_pair(baseline, target, a, b)?;
+                for f in extracted {
+                    let f = f?;
                     match &mut combined {
                         None => combined = Some(f),
                         Some(c) => {
@@ -160,29 +167,29 @@ impl WiMi {
         baseline: &CsiCapture,
         target: &CsiCapture,
     ) -> Result<MaterialFeature, FeatureError> {
+        // The per-pair profile computation (phase differencing, subcarrier
+        // ranking, amplitude denoising) is the hot path of every
+        // measurement and is independent across pairs — fan it out.
         let pairs = crate::antenna::enumerate_pairs(baseline.n_antennas());
-        let mut profiles = Vec::with_capacity(pairs.len());
-        for &(a, b) in &pairs {
+        let profiles = crate::par::map(&pairs, |_, &(a, b)| {
             let phase_base = PhaseDifferenceProfile::compute(baseline, a, b);
             let phase_tar = PhaseDifferenceProfile::compute(target, a, b);
             let selected = self.config.subcarriers.resolve(&phase_base, &phase_tar);
             let amp_base = AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude);
             let amp_tar = AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude);
-            profiles.push((phase_base, phase_tar, amp_base, amp_tar, selected));
-        }
+            (phase_base, phase_tar, amp_base, amp_tar, selected)
+        });
         let inputs: Vec<crate::feature::PairMeasurement<'_>> = profiles
             .iter()
-            .map(
-                |(phase_base, phase_tar, amp_base, amp_tar, selected)| {
-                    crate::feature::PairMeasurement {
-                        phase_base,
-                        phase_tar,
-                        amp_base,
-                        amp_tar,
-                        subcarriers: selected,
-                    }
-                },
-            )
+            .map(|(phase_base, phase_tar, amp_base, amp_tar, selected)| {
+                crate::feature::PairMeasurement {
+                    phase_base,
+                    phase_tar,
+                    amp_base,
+                    amp_tar,
+                    subcarriers: selected,
+                }
+            })
             .collect();
         MaterialFeature::extract_joint(&inputs, &self.config.feature)
     }
@@ -309,8 +316,7 @@ mod tests {
         n: usize,
     ) -> Option<MaterialFeature> {
         for (attempt, &offset_cm) in [1.2, 0.9, 1.5, 1.0, 1.35].iter().enumerate() {
-            let (base, tar) =
-                capture_pair_at(liquid, seed + 1000 * attempt as u64, n, offset_cm);
+            let (base, tar) = capture_pair_at(liquid, seed + 1000 * attempt as u64, n, offset_cm);
             if let Ok(f) = wimi.extract_feature(&base, &tar) {
                 return Some(f);
             }
@@ -353,10 +359,7 @@ mod tests {
     fn identify_before_training_fails() {
         let wimi = WiMi::new(WiMiConfig::default());
         let (base, tar) = capture_pair(Liquid::Milk, 5, 10);
-        assert_eq!(
-            wimi.identify(&base, &tar),
-            Err(IdentifyError::NotTrained)
-        );
+        assert_eq!(wimi.identify(&base, &tar), Err(IdentifyError::NotTrained));
     }
 
     #[test]
@@ -373,7 +376,10 @@ mod tests {
                 }
             }
         }
-        assert!(db.samples_of("Pure water").len() >= 5, "too few water samples");
+        assert!(
+            db.samples_of("Pure water").len() >= 5,
+            "too few water samples"
+        );
         assert!(db.samples_of("Oil").len() >= 5, "too few oil samples");
         let mut wimi = WiMi::new(WiMiConfig::default());
         wimi.train(&db);
@@ -401,8 +407,10 @@ mod tests {
 
     #[test]
     fn all_pairs_concatenates_features() {
-        let mut cfg = WiMiConfig::default();
-        cfg.pairs = PairSelection::All;
+        let cfg = WiMiConfig {
+            pairs: PairSelection::All,
+            ..WiMiConfig::default()
+        };
         let wimi = WiMi::new(cfg);
         let (base, tar) = capture_pair(Liquid::Milk, 6, 40);
         if let Ok(feat) = wimi.extract_feature(&base, &tar) {

@@ -127,8 +127,7 @@ mod tests {
     fn fixed_selection_passes_through_sorted_dedup() {
         let base = profile(vec![0.0; 10]);
         let tar = profile(vec![0.0; 10]);
-        let chosen =
-            SubcarrierSelection::Fixed(vec![7, 2, 7, 5]).resolve(&base, &tar);
+        let chosen = SubcarrierSelection::Fixed(vec![7, 2, 7, 5]).resolve(&base, &tar);
         assert_eq!(chosen, vec![2, 5, 7]);
     }
 

@@ -3,7 +3,6 @@
 
 use crate::accuracy::Effort;
 use crate::harness::{heading, paper_liquids, pct, run_identification, Material, RunOptions};
-use rand::SeedableRng;
 use wimi_core::subcarrier::SubcarrierSelection;
 use wimi_core::WiMiConfig;
 use wimi_dsp::wavelet::{CorrelationDenoiser, Wavelet};
@@ -14,19 +13,27 @@ use wimi_ml::svm::{Kernel, SvmParams};
 use wimi_phy::material::Liquid;
 
 fn subset() -> Vec<Material> {
-    [Liquid::PureWater, Liquid::Milk, Liquid::Honey, Liquid::Oil, Liquid::Soy]
-        .iter()
-        .copied()
-        .map(Material::catalog)
-        .collect()
+    [
+        Liquid::PureWater,
+        Liquid::Milk,
+        Liquid::Honey,
+        Liquid::Oil,
+        Liquid::Soy,
+    ]
+    .iter()
+    .copied()
+    .map(Material::catalog)
+    .collect()
 }
 
 /// Ablation 1: number of good subcarriers P.
 pub fn ablation_subcarrier_count(effort: Effort) {
     heading("Ablation", "good-subcarrier count P");
     for p in [1usize, 2, 4, 6, 8] {
-        let mut config = WiMiConfig::default();
-        config.subcarriers = SubcarrierSelection::BestByVariance(p);
+        let config = WiMiConfig {
+            subcarriers: SubcarrierSelection::BestByVariance(p),
+            ..WiMiConfig::default()
+        };
         let opts = RunOptions {
             config,
             n_train: effort.n_train,
@@ -64,10 +71,12 @@ pub fn ablation_classifier(effort: Effort) {
         ("SVM rbf γ=2.0", Kernel::Rbf { gamma: 2.0 }),
         ("SVM linear", Kernel::Linear),
     ] {
-        let mut config = WiMiConfig::default();
-        config.svm = SvmParams {
-            kernel,
-            ..SvmParams::default()
+        let config = WiMiConfig {
+            svm: SvmParams {
+                kernel,
+                ..SvmParams::default()
+            },
+            ..WiMiConfig::default()
         };
         let opts = RunOptions {
             config,
@@ -86,13 +95,12 @@ pub fn ablation_classifier(effort: Effort) {
         ..RunOptions::default()
     };
     let extractor = wimi_core::WiMi::new(opts.config.clone());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
     let class_names: Vec<String> = materials.iter().map(|m| m.name.clone()).collect();
     let mut train = Dataset::new(class_names.clone());
     for trial in 0..opts.n_train {
         for (label, m) in materials.iter().enumerate() {
             let seed = opts.seed + 1_000 + trial as u64 * 131 + label as u64;
-            if let (Some(f), _) = crate::harness::measure(&extractor, &m.spec, &opts, seed, &mut rng) {
+            if let (Some(f), _) = crate::harness::measure(&extractor, &m.spec, &opts, seed) {
                 train.push(f.as_vector(), label);
             }
         }
@@ -109,7 +117,7 @@ pub fn ablation_classifier(effort: Effort) {
     for trial in 0..opts.n_test {
         for (label, m) in materials.iter().enumerate() {
             let seed = opts.seed + 900_000 + trial as u64 * 137 + label as u64;
-            if let (Some(f), _) = crate::harness::measure(&extractor, &m.spec, &opts, seed, &mut rng) {
+            if let (Some(f), _) = crate::harness::measure(&extractor, &m.spec, &opts, seed) {
                 total += 1;
                 if knn.predict(&scaler.transform_one(&f.as_vector())) == label {
                     correct += 1;
@@ -117,7 +125,10 @@ pub fn ablation_classifier(effort: Effort) {
             }
         }
     }
-    println!("  kNN (k = 5)   : accuracy {}", pct(correct as f64 / total.max(1) as f64));
+    println!(
+        "  kNN (k = 5)   : accuracy {}",
+        pct(correct as f64 / total.max(1) as f64)
+    );
 }
 
 /// Robustness: flowing liquid (paper §VI limitation) — the pipeline should
@@ -125,7 +136,6 @@ pub fn ablation_classifier(effort: Effort) {
 pub fn robustness_flowing_liquid() {
     heading("Robustness", "flowing liquid (paper §VI limitation)");
     let extractor = wimi_core::WiMi::new(WiMiConfig::default());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(66);
     for flow in [0.0, 0.4, 0.8] {
         let opts = RunOptions {
             attempts: 1,
@@ -137,13 +147,8 @@ pub fn robustness_flowing_liquid() {
         let mut refused = 0usize;
         let total = 12usize;
         for trial in 0..total as u64 {
-            let (feat, _) = crate::harness::measure(
-                &extractor,
-                &Liquid::Milk.into(),
-                &opts,
-                50_000 + trial,
-                &mut rng,
-            );
+            let (feat, _) =
+                crate::harness::measure(&extractor, &Liquid::Milk.into(), &opts, 50_000 + trial);
             if feat.is_none() {
                 refused += 1;
             }

@@ -1,6 +1,6 @@
 //! Identification-accuracy figures (paper Figs. 13–21).
 
-use crate::harness::{heading, pct, paper_liquids, run_identification, Material, RunOptions};
+use crate::harness::{heading, paper_liquids, pct, run_identification, Material, RunOptions};
 use wimi_core::amplitude::AmplitudeConfig;
 use wimi_core::antenna::PairSelection;
 use wimi_core::subcarrier::SubcarrierSelection;
@@ -22,21 +22,33 @@ pub struct Effort {
 impl Effort {
     /// The paper's protocol: 20 measurements per material.
     pub fn full() -> Self {
-        Effort { n_train: 20, n_test: 20 }
+        Effort {
+            n_train: 20,
+            n_test: 20,
+        }
     }
 
     /// Reduced counts for smoke runs.
     pub fn quick() -> Self {
-        Effort { n_train: 8, n_test: 6 }
+        Effort {
+            n_train: 8,
+            n_test: 6,
+        }
     }
 }
 
 fn five_liquids() -> Vec<Material> {
-    [Liquid::Pepsi, Liquid::Oil, Liquid::Vinegar, Liquid::Soy, Liquid::Milk]
-        .iter()
-        .copied()
-        .map(Material::catalog)
-        .collect()
+    [
+        Liquid::Pepsi,
+        Liquid::Oil,
+        Liquid::Vinegar,
+        Liquid::Soy,
+        Liquid::Milk,
+    ]
+    .iter()
+    .copied()
+    .map(Material::catalog)
+    .collect()
 }
 
 /// Fig. 13: good subcarriers vs randomly chosen ones.
@@ -44,15 +56,23 @@ pub fn fig13(effort: Effort) {
     heading("Fig. 13", "identification with random vs good subcarriers");
     let materials = five_liquids();
     let cases: [(&str, SubcarrierSelection); 4] = [
-        ("random {2, 7, 12}", SubcarrierSelection::Fixed(vec![2, 7, 12])),
+        (
+            "random {2, 7, 12}",
+            SubcarrierSelection::Fixed(vec![2, 7, 12]),
+        ),
         ("good, 1 subcarrier", SubcarrierSelection::BestByVariance(1)),
-        ("good, 2 subcarriers", SubcarrierSelection::BestByVariance(2)),
+        (
+            "good, 2 subcarriers",
+            SubcarrierSelection::BestByVariance(2),
+        ),
         ("good, 4 (combined)", SubcarrierSelection::BestByVariance(4)),
     ];
     let mut accs = Vec::new();
     for (name, sel) in cases {
-        let mut config = WiMiConfig::default();
-        config.subcarriers = sel;
+        let config = WiMiConfig {
+            subcarriers: sel,
+            ..WiMiConfig::default()
+        };
         let opts = RunOptions {
             config,
             n_train: effort.n_train,
@@ -65,7 +85,11 @@ pub fn fig13(effort: Effort) {
     }
     println!(
         "paper shape: good > random, combining helps → {}",
-        if accs[3] > accs[0] { "REPRODUCED" } else { "NOT reproduced" }
+        if accs[3] > accs[0] {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -78,8 +102,10 @@ pub fn fig14(effort: Effort) {
         ("w/o noise removed", AmplitudeConfig::raw()),
         ("w noise removed", AmplitudeConfig::default()),
     ] {
-        let mut config = WiMiConfig::default();
-        config.amplitude = amp;
+        let config = WiMiConfig {
+            amplitude: amp,
+            ..WiMiConfig::default()
+        };
         let opts = RunOptions {
             config,
             n_train: effort.n_train,
@@ -87,7 +113,8 @@ pub fn fig14(effort: Effort) {
             ..RunOptions::default()
         };
         let result = run_identification(&materials, &opts);
-        println!("  {name:<20}: accuracy {}  (per class: {})",
+        println!(
+            "  {name:<20}: accuracy {}  (per class: {})",
             pct(result.accuracy()),
             result
                 .confusion
@@ -95,12 +122,17 @@ pub fn fig14(effort: Effort) {
                 .iter()
                 .map(|a| pct(*a))
                 .collect::<Vec<_>>()
-                .join(" "));
+                .join(" ")
+        );
         rows.push(result.accuracy());
     }
     println!(
         "paper shape: denoising consistently better → {}",
-        if rows[1] >= rows[0] { "REPRODUCED" } else { "NOT reproduced" }
+        if rows[1] >= rows[0] {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -114,7 +146,10 @@ pub fn fig15(effort: Effort) {
     };
     let result = run_identification(&paper_liquids(), &opts);
     println!("{}", result.confusion);
-    println!("average accuracy = {} (paper: 96%)", pct(result.confusion.mean_per_class_accuracy()));
+    println!(
+        "average accuracy = {} (paper: 96%)",
+        pct(result.confusion.mean_per_class_accuracy())
+    );
     println!(
         "dropped trials = {}, rejected measurements = {}",
         result.dropped_trials, result.rejected_measurements
@@ -122,7 +157,11 @@ pub fn fig15(effort: Effort) {
     let pepsi_coke_ok = result.confusion.rate(4, 4) >= 0.5 && result.confusion.rate(8, 8) >= 0.5;
     println!(
         "paper shape: high average, Pepsi/Coke hardest pair but >50% → {}",
-        if pepsi_coke_ok { "REPRODUCED" } else { "NOT reproduced" }
+        if pepsi_coke_ok {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -140,14 +179,22 @@ pub fn fig16(effort: Effort) {
     };
     let result = run_identification(&materials, &opts);
     println!("{}", result.confusion);
-    println!("average accuracy = {} (paper: ≥95%)", pct(result.confusion.mean_per_class_accuracy()));
+    println!(
+        "average accuracy = {} (paper: ≥95%)",
+        pct(result.confusion.mean_per_class_accuracy())
+    );
 }
 
 /// Fig. 17: accuracy vs transmitter–receiver distance.
 pub fn fig17(effort: Effort) {
     heading("Fig. 17", "identification vs link distance");
     let materials = five_liquids();
-    println!("distance : {}", Environment::ALL.map(|e| format!("{:>8}", e.name())).join(" "));
+    println!(
+        "distance : {}",
+        Environment::ALL
+            .map(|e| format!("{:>8}", e.name()))
+            .join(" ")
+    );
     let mut first = None;
     let mut last = None;
     for dist_m in [1.0, 1.5, 2.0, 2.5, 3.0] {
@@ -188,7 +235,12 @@ pub fn fig17(effort: Effort) {
 pub fn fig18(effort: Effort) {
     heading("Fig. 18", "identification vs packet count");
     let materials = five_liquids();
-    println!("packets : {}", Environment::ALL.map(|e| format!("{:>8}", e.name())).join(" "));
+    println!(
+        "packets : {}",
+        Environment::ALL
+            .map(|e| format!("{:>8}", e.name()))
+            .join(" ")
+    );
     let mut lab_accs = Vec::new();
     for packets in [3usize, 5, 10, 20, 30] {
         let mut row = format!("  {packets:>3}   :");
@@ -210,7 +262,11 @@ pub fn fig18(effort: Effort) {
     }
     println!(
         "paper shape: rises with packets, saturates by ~20 → {}",
-        if lab_accs.last() >= lab_accs.first() { "REPRODUCED" } else { "NOT reproduced" }
+        if lab_accs.last() >= lab_accs.first() {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -245,7 +301,11 @@ pub fn fig19(effort: Effort) {
     }
     println!(
         "paper shape: stable for large sizes, collapses below λ (3.2 cm) → {}",
-        if accs[4] < accs[0] { "REPRODUCED" } else { "NOT reproduced" }
+        if accs[4] < accs[0] {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -282,13 +342,12 @@ pub fn fig20(effort: Effort) {
         ..RunOptions::default()
     };
     let extractor = wimi_core::WiMi::new(opts.config.clone());
-    let mut rng = rand::SeedableRng::seed_from_u64(20);
     let mut refused = 0;
     let mut total = 0;
     for trial in 0..6u64 {
         for m in &materials {
             total += 1;
-            let (feat, _) = crate::harness::measure(&extractor, &m.spec, &opts, 777 + trial, &mut rng);
+            let (feat, _) = crate::harness::measure(&extractor, &m.spec, &opts, 777 + trial);
             if feat.is_none() {
                 refused += 1;
             }
@@ -297,7 +356,11 @@ pub fn fig20(effort: Effort) {
     println!("  Metal   : {refused}/{total} measurements refused (no penetration)");
     println!(
         "paper shape: glass ≈ plastic, metal breaks the system → {}",
-        if (accs[0] - accs[1]).abs() < 0.25 && refused * 2 > total { "REPRODUCED" } else { "NOT reproduced" }
+        if (accs[0] - accs[1]).abs() < 0.25 && refused * 2 > total {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -311,8 +374,10 @@ pub fn fig21(effort: Effort) {
         .collect();
     let mut accs = Vec::new();
     for (a, b) in [(0usize, 1usize), (0, 2), (1, 2)] {
-        let mut config = WiMiConfig::default();
-        config.pairs = PairSelection::Fixed(a, b);
+        let config = WiMiConfig {
+            pairs: PairSelection::Fixed(a, b),
+            ..WiMiConfig::default()
+        };
         let opts = RunOptions {
             config,
             n_train: effort.n_train,
@@ -320,7 +385,12 @@ pub fn fig21(effort: Effort) {
             ..RunOptions::default()
         };
         let result = run_identification(&materials, &opts);
-        println!("  antennas {}&{}: accuracy {}", a + 1, b + 1, pct(result.accuracy()));
+        println!(
+            "  antennas {}&{}: accuracy {}",
+            a + 1,
+            b + 1,
+            pct(result.accuracy())
+        );
         accs.push(result.accuracy());
     }
     // Joint (Best) selection for reference.
@@ -335,6 +405,10 @@ pub fn fig21(effort: Effort) {
         - accs.iter().cloned().fold(f64::MAX, f64::min);
     println!(
         "paper shape: pairs differ slightly → {}",
-        if spread > 0.0 { "REPRODUCED" } else { "identical pairs" }
+        if spread > 0.0 {
+            "REPRODUCED"
+        } else {
+            "identical pairs"
+        }
     );
 }

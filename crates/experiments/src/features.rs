@@ -2,7 +2,6 @@
 //! selection evidence (paper Figs. 9, 10).
 
 use crate::harness::{heading, measure, Material, RunOptions};
-use rand::SeedableRng;
 use wimi_core::amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
 use wimi_core::antenna::score_pairs;
 use wimi_core::phase::PhaseDifferenceProfile;
@@ -26,13 +25,12 @@ pub fn fig9() {
     ];
     let opts = RunOptions::default();
     let extractor = WiMi::new(WiMiConfig::default());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
     println!("material    : Ω̄ mean ± std over 15 measurements");
     let mut means = Vec::new();
     for (i, m) in materials.iter().enumerate() {
         let mut omegas = Vec::new();
         for trial in 0..15u64 {
-            let (feat, _) = measure(&extractor, &m.spec, &opts, 90_000 + i as u64 * 97 + trial, &mut rng);
+            let (feat, _) = measure(&extractor, &m.spec, &opts, 90_000 + i as u64 * 97 + trial);
             if let Some(f) = feat {
                 omegas.push(f.omega_mean());
             }
@@ -48,17 +46,24 @@ pub fn fig9() {
     }
     let mut sorted = means.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let min_gap = sorted.windows(2).map(|w| w[1] - w[0]).fold(f64::INFINITY, f64::min);
+    let min_gap = sorted
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .fold(f64::INFINITY, f64::min);
     println!(
         "paper shape: distinct per-material clusters → {}",
-        if min_gap > 0.005 { "REPRODUCED" } else { "clusters overlap" }
+        if min_gap > 0.005 {
+            "REPRODUCED"
+        } else {
+            "clusters overlap"
+        }
     );
 }
 
 /// Fig. 10: phase-difference and amplitude-ratio variance per antenna pair.
 pub fn fig10() {
     heading("Fig. 10", "variance per antenna combination");
-    let (_, tar, _) = crate::harness::capture_pair(
+    let (_, tar) = crate::harness::capture_pair(
         &Liquid::Milk.into(),
         wimi_phy::channel::Environment::Lab,
         200,
@@ -83,7 +88,11 @@ pub fn fig10() {
         > 1.2 * phases.iter().cloned().fold(f64::MAX, f64::min);
     println!(
         "paper shape: combinations differ → {}",
-        if distinct { "REPRODUCED" } else { "similar pairs" }
+        if distinct {
+            "REPRODUCED"
+        } else {
+            "similar pairs"
+        }
     );
 }
 
@@ -91,7 +100,7 @@ pub fn fig10() {
 /// useful context for readers of the report).
 pub fn feature_anatomy() {
     heading("Anatomy", "ΔΘ / ΔΨ / Ω̄ of one milk measurement");
-    let (base, tar, _) = crate::harness::capture_pair(
+    let (base, tar) = crate::harness::capture_pair(
         &Liquid::Milk.into(),
         wimi_phy::channel::Environment::Lab,
         20,
@@ -108,7 +117,13 @@ pub fn feature_anatomy() {
         Ok(f) => {
             println!("selected subcarriers: {:?}", f.subcarriers);
             println!("gamma (phase wraps):  {}", f.gamma);
-            println!("Ω̄ per subcarrier:     {:?}", f.omega.iter().map(|o| (o * 1e4).round() / 1e4).collect::<Vec<_>>());
+            println!(
+                "Ω̄ per subcarrier:     {:?}",
+                f.omega
+                    .iter()
+                    .map(|o| (o * 1e4).round() / 1e4)
+                    .collect::<Vec<_>>()
+            );
             println!("Ω̄ mean:               {:.4}", f.omega_mean());
             println!("dispersion:           {:.4}", f.dispersion);
         }

@@ -3,13 +3,13 @@
 
 use rand::{Rng, SeedableRng};
 use wimi_core::{MaterialFeature, WiMi, WiMiConfig};
+use wimi_ml::dataset::Dataset;
+use wimi_ml::metrics::ConfusionMatrix;
 use wimi_phy::channel::Environment;
 use wimi_phy::csi::{CsiCapture, CsiSource};
 use wimi_phy::material::{Liquid, SaltwaterConcentration, LIQUIDS};
 use wimi_phy::scenario::{LiquidSpec, Scenario, ScenarioBuilder, Simulator};
 use wimi_phy::units::Meters;
-use wimi_ml::dataset::Dataset;
-use wimi_ml::metrics::ConfusionMatrix;
 
 /// A material under test: display name plus its dielectric spec.
 #[derive(Debug, Clone)]
@@ -57,8 +57,9 @@ pub struct RunOptions {
     pub seed: u64,
     /// Pipeline configuration.
     pub config: WiMiConfig,
-    /// Extra scenario customisation applied after the defaults.
-    pub modify: Box<dyn Fn(&mut ScenarioBuilder)>,
+    /// Extra scenario customisation applied after the defaults. `Send +
+    /// Sync` so measurements can fan out across worker threads.
+    pub modify: Box<dyn Fn(&mut ScenarioBuilder) + Send + Sync>,
     /// Measurement attempts before giving up on a trial (the operator
     /// re-seats the beaker when the pipeline flags a bad measurement).
     pub attempts: usize,
@@ -103,33 +104,40 @@ pub fn capture_pair(
     packets: usize,
     seed: u64,
     offset_cm: f64,
-    modify: &dyn Fn(&mut ScenarioBuilder),
-) -> (CsiCapture, CsiCapture, Scenario) {
+    modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
+) -> (CsiCapture, CsiCapture) {
     let mut builder = Scenario::builder();
     builder.environment(environment);
     builder.target_offset(Meters::from_cm(offset_cm));
     modify(&mut builder);
-    let scenario = builder.build();
-    let mut sim = Simulator::new(scenario.clone(), seed);
+    let mut sim = Simulator::new(builder.build(), seed);
     let baseline = sim.capture(packets);
     sim.set_liquid(Some(spec.clone()));
     let target = sim.capture(packets);
-    (baseline, target, scenario)
+    (baseline, target)
 }
 
 /// Measures one material with the re-seat-and-retry protocol. Returns the
 /// feature and the number of rejected attempts.
+///
+/// Placement randomness (the operator never re-seats the beaker in
+/// exactly the same spot) is drawn from an RNG derived from the
+/// measurement `seed`, not from a stream shared with other measurements.
+/// That makes every measurement a pure function of its seed, so the
+/// harness can run them on any thread in any order. (Earlier revisions
+/// drew offsets from one sequential stream; their runs differ
+/// numerically but not statistically.)
 pub fn measure(
     extractor: &WiMi,
     spec: &LiquidSpec,
     opts: &RunOptions,
     seed: u64,
-    rng: &mut rand::rngs::StdRng,
 ) -> (Option<MaterialFeature>, usize) {
+    let mut placement = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut rejected = 0;
     for attempt in 0..opts.attempts {
-        let offset_cm = 1.0 + rng.gen_range(-0.5..0.5);
-        let (base, tar, _) = capture_pair(
+        let offset_cm = 1.0 + placement.gen_range(-0.5..0.5);
+        let (base, tar) = capture_pair(
             spec,
             opts.environment,
             opts.packets,
@@ -146,25 +154,43 @@ pub fn measure(
 }
 
 /// Runs a full train/test identification experiment.
+///
+/// Every (trial × material) measurement is independent — its seed is a
+/// pure function of `opts.seed`, the trial, and the material label — so
+/// both phases fan out over [`wimi_core::par`] worker threads
+/// (`WIMI_THREADS`). Results are folded back in trial-major order, which
+/// makes the confusion matrix bitwise identical for any thread count.
 pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResult {
     let extractor = WiMi::new(opts.config.clone());
-    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
     let class_names: Vec<String> = materials.iter().map(|m| m.name.clone()).collect();
 
     let mut dropped = 0usize;
     let mut rejected = 0usize;
 
-    // Training set.
-    let mut train = Dataset::new(class_names.clone());
-    for trial in 0..opts.n_train {
-        for (label, m) in materials.iter().enumerate() {
-            let seed = opts.seed + 1_000 + trial as u64 * 131 + label as u64;
-            let (feat, rej) = measure(&extractor, &m.spec, opts, seed, &mut rng);
-            rejected += rej;
-            match feat {
-                Some(f) => train.push(f.as_vector(), label),
-                None => dropped += 1,
+    let jobs = |base: u64, trials: usize, stride: u64| -> Vec<(usize, u64)> {
+        let mut v = Vec::with_capacity(trials * materials.len());
+        for trial in 0..trials {
+            for label in 0..materials.len() {
+                v.push((label, base + trial as u64 * stride + label as u64));
             }
+        }
+        v
+    };
+
+    // Training set.
+    let train_jobs = jobs(opts.seed + 1_000, opts.n_train, 131);
+    let measured = wimi_core::par::map(&train_jobs, |_, &(label, seed)| {
+        (
+            label,
+            measure(&extractor, &materials[label].spec, opts, seed),
+        )
+    });
+    let mut train = Dataset::new(class_names.clone());
+    for (label, (feat, rej)) in measured {
+        rejected += rej;
+        match feat {
+            Some(f) => train.push(f.as_vector(), label),
+            None => dropped += 1,
         }
     }
 
@@ -172,21 +198,24 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
     wimi.train_on_dataset(&train);
 
     // Test set.
+    let test_jobs = jobs(opts.seed + 900_000, opts.n_test, 137);
+    let measured = wimi_core::par::map(&test_jobs, |_, &(label, seed)| {
+        (
+            label,
+            measure(&extractor, &materials[label].spec, opts, seed),
+        )
+    });
     let mut truth = Vec::new();
     let mut pred = Vec::new();
-    for trial in 0..opts.n_test {
-        for (label, m) in materials.iter().enumerate() {
-            let seed = opts.seed + 900_000 + trial as u64 * 137 + label as u64;
-            let (feat, rej) = measure(&extractor, &m.spec, opts, seed, &mut rng);
-            rejected += rej;
-            match feat {
-                Some(f) => {
-                    let p = wimi.classify_feature(&f).expect("trained");
-                    truth.push(label);
-                    pred.push(p);
-                }
-                None => dropped += 1,
+    for (label, (feat, rej)) in measured {
+        rejected += rej;
+        match feat {
+            Some(f) => {
+                let p = wimi.classify_feature(&f).expect("trained");
+                truth.push(label);
+                pred.push(p);
             }
+            None => dropped += 1,
         }
     }
 
@@ -223,11 +252,54 @@ mod tests {
     #[test]
     fn capture_pair_produces_consistent_captures() {
         let mat = Material::catalog(Liquid::Milk);
-        let (base, tar, scenario) =
-            capture_pair(&mat.spec, Environment::Lab, 5, 1, 1.0, &|_| {});
+        let (base, tar) = capture_pair(&mat.spec, Environment::Lab, 5, 1, 1.0, &|_| {});
         assert_eq!(base.len(), 5);
         assert_eq!(tar.len(), 5);
-        assert_eq!(base.n_antennas(), scenario.n_antennas());
+        assert_eq!(base.n_antennas(), Scenario::builder().build().n_antennas());
+    }
+
+    #[test]
+    fn run_identification_is_deterministic() {
+        let materials = vec![
+            Material::catalog(Liquid::PureWater),
+            Material::catalog(Liquid::Oil),
+        ];
+        let opts = RunOptions {
+            n_train: 4,
+            n_test: 3,
+            packets: 10,
+            ..RunOptions::default()
+        };
+        let a = run_identification(&materials, &opts);
+        let b = run_identification(&materials, &opts);
+        assert_eq!(a.confusion, b.confusion);
+        assert_eq!(a.dropped_trials, b.dropped_trials);
+        assert_eq!(a.rejected_measurements, b.rejected_measurements);
+    }
+
+    #[test]
+    fn run_identification_is_thread_count_invariant() {
+        // Seeds are drawn per measurement (not from a shared stream) and
+        // results fold back in trial-major order, so 1 worker and 4
+        // workers must produce the same confusion matrix bit for bit.
+        let materials = vec![
+            Material::catalog(Liquid::PureWater),
+            Material::catalog(Liquid::Honey),
+        ];
+        let opts = RunOptions {
+            n_train: 4,
+            n_test: 3,
+            packets: 10,
+            ..RunOptions::default()
+        };
+        std::env::set_var("WIMI_THREADS", "1");
+        let serial = run_identification(&materials, &opts);
+        std::env::set_var("WIMI_THREADS", "4");
+        let parallel = run_identification(&materials, &opts);
+        std::env::remove_var("WIMI_THREADS");
+        assert_eq!(serial.confusion, parallel.confusion);
+        assert_eq!(serial.dropped_trials, parallel.dropped_trials);
+        assert_eq!(serial.rejected_measurements, parallel.rejected_measurements);
     }
 
     #[test]
@@ -243,10 +315,6 @@ mod tests {
         };
         let result = run_identification(&materials, &opts);
         // Water vs honey is an easy pair; expect high accuracy.
-        assert!(
-            result.accuracy() > 0.8,
-            "accuracy = {}",
-            result.accuracy()
-        );
+        assert!(result.accuracy() > 0.8, "accuracy = {}", result.accuracy());
     }
 }

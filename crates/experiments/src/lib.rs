@@ -54,9 +54,28 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
 
 /// Every experiment name, in report order.
 pub const ALL_EXPERIMENTS: [&str; 22] = [
-    "fig2", "fig3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig12", "fig13", "fig14", "fig15",
-    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "anatomy", "ablation-p",
-    "ablation-wavelet", "ablation-classifier", "flow",
+    "fig2",
+    "fig3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "anatomy",
+    "ablation-p",
+    "ablation-wavelet",
+    "ablation-classifier",
+    "flow",
 ];
 
 #[cfg(test)]

@@ -5,7 +5,11 @@ use wimi_experiments::{run_named, Effort, ALL_EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let effort = if quick { Effort::quick() } else { Effort::full() };
+    let effort = if quick {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
     let names: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

@@ -2,7 +2,9 @@
 //! (paper Figs. 2, 3, 6, 7, 8 and 12).
 
 use crate::harness::{capture_pair, heading};
-use wimi_core::amplitude::{per_antenna_amplitude_variance, AmplitudeConfig, AmplitudeRatioProfile};
+use wimi_core::amplitude::{
+    per_antenna_amplitude_variance, AmplitudeConfig, AmplitudeRatioProfile,
+};
 use wimi_core::phase::{phase_difference_spread_deg, raw_phase_spread, PhaseDifferenceProfile};
 use wimi_core::subcarrier::rank_subcarriers;
 use wimi_dsp::filters::{butterworth_filtfilt, median_filter, slide_filter};
@@ -20,22 +22,32 @@ fn milk() -> LiquidSpec {
 /// cross-antenna phase difference concentrates.
 pub fn fig2() {
     heading("Fig. 2", "raw CSI phase vs cross-antenna phase difference");
-    let (_, tar, _) = capture_pair(&milk(), Environment::Lab, 200, 2, 1.0, &|_| {});
+    let (_, tar) = capture_pair(&milk(), Environment::Lab, 200, 2, 1.0, &|_| {});
     let raw = raw_phase_spread(&tar, 0, 15);
     let diff = phase_difference_spread_deg(&tar, 0, 1, 15);
-    println!("raw phase resultant length R = {:.3} (1 = aligned, 0 = uniform)", raw.resultant);
-    println!("raw phase angular spread     = {:.0}°", raw.spread_deg.min(360.0));
+    println!(
+        "raw phase resultant length R = {:.3} (1 = aligned, 0 = uniform)",
+        raw.resultant
+    );
+    println!(
+        "raw phase angular spread     = {:.0}°",
+        raw.spread_deg.min(360.0)
+    );
     println!("phase-difference spread      = {:.1}°  (paper: ≈18°)", diff);
     println!(
         "paper shape: raw uniform over 0..2π, difference clusters → {}",
-        if raw.resultant < 0.3 && diff < 45.0 { "REPRODUCED" } else { "NOT reproduced" }
+        if raw.resultant < 0.3 && diff < 45.0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
 /// Fig. 3: raw amplitude readings contain outliers and impulse noise.
 pub fn fig3() {
     heading("Fig. 3", "raw CSI amplitude outliers and impulse noise");
-    let (_, tar, _) = capture_pair(&milk(), Environment::Lab, 400, 3, 1.0, &|_| {});
+    let (_, tar) = capture_pair(&milk(), Environment::Lab, 400, 3, 1.0, &|_| {});
     let series = tar.amplitude_series(0, 15);
     let m = mean(&series);
     let sd = wimi_dsp::stats::std_dev(&series);
@@ -44,12 +56,19 @@ pub fn fig3() {
         .iter()
         .filter(|&&a| (a - m).abs() > 1.5 * sd && (a - m).abs() <= 3.0 * sd)
         .count();
-    println!("packets: {}   mean |H| = {m:.3}   std = {sd:.3}", series.len());
+    println!(
+        "packets: {}   mean |H| = {m:.3}   std = {sd:.3}",
+        series.len()
+    );
     println!("samples beyond 3σ (outliers):      {outliers}");
     println!("samples in 1.5σ..3σ (impulse-ish): {impulses}");
     println!(
         "paper shape: amplitude series visibly corrupted → {}",
-        if outliers + impulses > 0 { "REPRODUCED" } else { "NOT reproduced" }
+        if outliers + impulses > 0 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -57,7 +76,7 @@ pub fn fig3() {
 /// and a few "good" subcarriers stand out.
 pub fn fig6() {
     heading("Fig. 6", "phase-difference variance per subcarrier");
-    let (base, tar, _) = capture_pair(&milk(), Environment::Lab, 200, 6, 1.0, &|_| {});
+    let (base, tar) = capture_pair(&milk(), Environment::Lab, 200, 6, 1.0, &|_| {});
     let pb = PhaseDifferenceProfile::compute(&base, 0, 1);
     let pt = PhaseDifferenceProfile::compute(&tar, 0, 1);
     let ranked = rank_subcarriers(&pb, &pt);
@@ -65,7 +84,11 @@ pub fn fig6() {
     let mut by_index = ranked.clone();
     by_index.sort_by_key(|&(k, _)| k);
     for (k, v) in &by_index {
-        let marker = if ranked[..4].iter().any(|&(g, _)| g == *k) { "  <-- good" } else { "" };
+        let marker = if ranked[..4].iter().any(|&(g, _)| g == *k) {
+            "  <-- good"
+        } else {
+            ""
+        };
         println!("  {k:>2}       : {v:.5}{marker}");
     }
     let best: Vec<usize> = ranked[..4].iter().map(|&(k, _)| k).collect();
@@ -74,7 +97,11 @@ pub fn fig6() {
     println!("good subcarriers (P = 4): {best:?}");
     println!(
         "variance spread worst/best = {spread:.1}x → {}",
-        if spread > 2.0 { "REPRODUCED (frequency-selective)" } else { "weak selectivity" }
+        if spread > 2.0 {
+            "REPRODUCED (frequency-selective)"
+        } else {
+            "weak selectivity"
+        }
     );
 }
 
@@ -118,18 +145,31 @@ pub fn fig7() {
         ("raw (no filtering)", err(&noisy)),
         ("median filter", err(&median_filter(&noisy, 5))),
         ("slide filter", err(&slide_filter(&noisy, 5))),
-        ("Butterworth filter", err(&butterworth_filtfilt(&noisy, 0.25))),
-        ("proposed (wavelet corr.)", err(&correlation_denoise(&noisy))),
+        (
+            "Butterworth filter",
+            err(&butterworth_filtfilt(&noisy, 0.25)),
+        ),
+        (
+            "proposed (wavelet corr.)",
+            err(&correlation_denoise(&noisy)),
+        ),
     ];
     println!("method                     : residual RMSE vs clean signal");
     for (name, e) in &results {
         println!("  {name:<24} : {e:.4}");
     }
     let proposed = results[4].1;
-    let best_classic = results[1..4].iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let best_classic = results[1..4]
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "paper shape: proposed best → {}",
-        if proposed <= best_classic { "REPRODUCED" } else { "NOT reproduced" }
+        if proposed <= best_classic {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -139,7 +179,7 @@ pub fn fig8() {
     heading("Fig. 8", "amplitude variance: single antennas vs ratio");
     // Measured on the baseline capture: the figure's point is that the
     // common AGC/power wobble cancels in the cross-antenna ratio.
-    let (tar, _, _) = capture_pair(&milk(), Environment::Lab, 200, 8, 1.0, &|_| {});
+    let (tar, _) = capture_pair(&milk(), Environment::Lab, 200, 8, 1.0, &|_| {});
     let v1 = per_antenna_amplitude_variance(&tar, 0);
     let v2 = per_antenna_amplitude_variance(&tar, 1);
     let ratio = AmplitudeRatioProfile::compute(&tar, 0, 1, &AmplitudeConfig::raw());
@@ -162,7 +202,11 @@ pub fn fig8() {
     println!("ratio |H1|/|H2| CV²     (mean over subcarriers) = {cvr:.5}");
     println!(
         "paper shape: ratio much more stable → {}",
-        if cvr < cv1 && cvr < cv2 { "REPRODUCED" } else { "NOT reproduced" }
+        if cvr < cv1 && cvr < cv2 {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
 }
 
@@ -170,7 +214,7 @@ pub fn fig8() {
 /// good-subcarrier spread.
 pub fn fig12() {
     heading("Fig. 12", "phase calibration performance (library)");
-    let (base, tar, _) = capture_pair(&milk(), Environment::Library, 200, 12, 1.0, &|_| {});
+    let (base, tar) = capture_pair(&milk(), Environment::Library, 200, 12, 1.0, &|_| {});
     let raw = raw_phase_spread(&tar, 0, 15);
     let pb = PhaseDifferenceProfile::compute(&base, 0, 1);
     let pt = PhaseDifferenceProfile::compute(&tar, 0, 1);
@@ -186,7 +230,10 @@ pub fn fig12() {
             .map(|&(k, _)| phase_difference_spread_deg(&tar, 0, 1, k))
             .collect::<Vec<_>>(),
     );
-    println!("raw phase spread                      = {:.0}° (paper: uniform 0..360°)", raw.spread_deg.min(360.0));
+    println!(
+        "raw phase spread                      = {:.0}° (paper: uniform 0..360°)",
+        raw.spread_deg.min(360.0)
+    );
     println!("phase-difference spread (all subcar.) = {all_spread:.1}° (paper: ≈18°)");
     println!("phase-difference spread (good 4)      = {good_spread:.1}° (paper: ≈5°)");
     println!(

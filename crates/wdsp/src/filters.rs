@@ -70,10 +70,7 @@ impl Biquad {
         let b0 = k * k * norm;
         Biquad {
             b: [b0, 2.0 * b0, b0],
-            a: [
-                2.0 * (k * k - 1.0) * norm,
-                (1.0 - k / q + k * k) * norm,
-            ],
+            a: [2.0 * (k * k - 1.0) * norm, (1.0 - k / q + k * k) * norm],
         }
     }
 

@@ -97,7 +97,8 @@ pub fn hampel_filter(xs: &[f64], half_window: usize, k: f64) -> Vec<f64> {
         let hi = (i + half_window + 1).min(n);
         let window = &xs[lo..hi];
         let med = median(window);
-        let scaled_mad = 1.4826 * median(&window.iter().map(|x| (x - med).abs()).collect::<Vec<_>>());
+        let scaled_mad =
+            1.4826 * median(&window.iter().map(|x| (x - med).abs()).collect::<Vec<_>>());
         if scaled_mad > 0.0 && (xs[i] - med).abs() > k * scaled_mad {
             out[i] = med;
         }
@@ -110,7 +111,9 @@ mod tests {
     use super::*;
 
     fn series_with_outlier() -> Vec<f64> {
-        let mut xs: Vec<f64> = (0..50).map(|i| 1.0 + 0.01 * ((i as f64) * 0.3).sin()).collect();
+        let mut xs: Vec<f64> = (0..50)
+            .map(|i| 1.0 + 0.01 * ((i as f64) * 0.3).sin())
+            .collect();
         xs[20] = 10.0;
         xs
     }

@@ -176,7 +176,10 @@ pub fn trimmed_circular_mean(angles: &[f64], trim_fraction: f64) -> f64 {
         .map(|&a| (wrap_to_pi(a - first).abs(), a))
         .collect();
     dev.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite deviation"));
-    let kept: Vec<f64> = dev[..angles.len() - n_drop].iter().map(|&(_, a)| a).collect();
+    let kept: Vec<f64> = dev[..angles.len() - n_drop]
+        .iter()
+        .map(|&(_, a)| a)
+        .collect();
     circular_mean(&kept)
 }
 
@@ -309,9 +312,7 @@ mod tests {
         // A cluster with ~18° spread, as the paper's Fig. 12 reports after
         // phase differencing.
         let sigma = 18f64.to_radians();
-        let angles: Vec<f64> = (0..200)
-            .map(|i| sigma * ((i as f64 * 0.7).sin()))
-            .collect();
+        let angles: Vec<f64> = (0..200).map(|i| sigma * ((i as f64 * 0.7).sin())).collect();
         let spread = angular_spread_deg(&angles);
         assert!(spread > 8.0 && spread < 25.0, "spread = {spread}");
     }

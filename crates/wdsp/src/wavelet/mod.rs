@@ -33,7 +33,10 @@ impl Wavelet {
     /// `‖h‖ = 1`).
     pub fn lowpass(self) -> &'static [f64] {
         match self {
-            Wavelet::Haar => &[std::f64::consts::FRAC_1_SQRT_2, std::f64::consts::FRAC_1_SQRT_2],
+            Wavelet::Haar => &[
+                std::f64::consts::FRAC_1_SQRT_2,
+                std::f64::consts::FRAC_1_SQRT_2,
+            ],
             Wavelet::Db2 => &[
                 0.482_962_913_144_690_25,
                 0.836_516_303_737_469,

@@ -38,7 +38,11 @@ pub enum Environment {
 
 impl Environment {
     /// All three environments in increasing multipath order.
-    pub const ALL: [Environment; 3] = [Environment::EmptyHall, Environment::Lab, Environment::Library];
+    pub const ALL: [Environment; 3] = [
+        Environment::EmptyHall,
+        Environment::Lab,
+        Environment::Library,
+    ];
 
     /// Human-readable name matching the paper's figures.
     pub fn name(self) -> &'static str {
@@ -271,6 +275,48 @@ impl MultipathChannel {
             })
             .sum()
     }
+
+    /// Static per-scatterer path gains at one receive antenna and
+    /// frequency: `gain_n · e^{−jβ₀·(d_tx→n + d_n→rx)}`. These depend only
+    /// on the (fixed) geometry, so a caller generating many packets can
+    /// compute them once and combine each packet's jitter with
+    /// [`Self::response_from_gains`] — the distance and `cis` work per
+    /// scatterer then drops out of the packet loop.
+    pub fn path_gains(&self, tx: Point, rx: Point, f: Hertz) -> Vec<Complex> {
+        let beta0 = f.angular() / crate::constants::SPEED_OF_LIGHT;
+        self.scatterers
+            .iter()
+            .map(|s| {
+                let d = tx.distance_to(s.position).value() + s.position.distance_to(rx).value();
+                s.gain * Complex::cis(-beta0 * d)
+            })
+            .collect()
+    }
+
+    /// Combines cached [`Self::path_gains`] with one packet's jitter;
+    /// equals `response(tx, rx, f, jitter, None)` for the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains` or `jitter` were built from a channel with a
+    /// different number of scatterers.
+    pub fn response_from_gains(&self, gains: &[Complex], jitter: &PacketJitter) -> Complex {
+        assert_eq!(
+            gains.len(),
+            self.scatterers.len(),
+            "path gains do not match this channel"
+        );
+        assert_eq!(
+            jitter.multipliers.len(),
+            self.scatterers.len(),
+            "jitter state does not match this channel"
+        );
+        gains
+            .iter()
+            .zip(&jitter.multipliers)
+            .map(|(g, m)| *g * *m)
+            .sum()
+    }
 }
 
 /// Free-space LoS response (unit amplitude at the reference distance):
@@ -384,6 +430,23 @@ mod tests {
             library > 3.0 * hall,
             "library ({library:.4}) should be much richer than hall ({hall:.4})"
         );
+    }
+
+    #[test]
+    fn cached_path_gains_reproduce_direct_response() {
+        let (tx, rx) = link();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ch = MultipathChannel::realize(Environment::Lab, tx, rx, &mut rng);
+        let gains = ch.path_gains(tx, rx, F);
+        for _ in 0..8 {
+            let j = ch.draw_jitter(&mut rng);
+            let direct = ch.response(tx, rx, F, &j, None);
+            let cached = ch.response_from_gains(&gains, &j);
+            assert!(
+                (direct - cached).abs() < 1e-12,
+                "cached gains diverge: {direct:?} vs {cached:?}"
+            );
+        }
     }
 
     #[test]

@@ -207,6 +207,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiply-by-inverse
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }

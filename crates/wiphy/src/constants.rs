@@ -4,7 +4,7 @@
 pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
 
 /// Vacuum permittivity ε₀, F/m.
-pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_8128e-12;
+pub const VACUUM_PERMITTIVITY: f64 = 8.854_187_812_8e-12;
 
 /// Vacuum permeability μ₀, H/m.
 pub const VACUUM_PERMEABILITY: f64 = 1.256_637_062_12e-6;

@@ -117,7 +117,10 @@ impl CsiPacket {
     pub fn cross_antenna(&self, a: usize, b: usize) -> Vec<Complex> {
         let ra = self.antenna_row(a).to_vec();
         let rb = self.antenna_row(b);
-        ra.iter().zip(rb.iter()).map(|(x, y)| *x * y.conj()).collect()
+        ra.iter()
+            .zip(rb.iter())
+            .map(|(x, y)| *x * y.conj())
+            .collect()
     }
 }
 

@@ -189,7 +189,10 @@ impl AntennaArray {
     ///
     /// Panics if `positions` is empty.
     pub fn from_positions(positions: Vec<Point>) -> Self {
-        assert!(!positions.is_empty(), "array must have at least one antenna");
+        assert!(
+            !positions.is_empty(),
+            "array must have at least one antenna"
+        );
         AntennaArray { positions }
     }
 

@@ -131,7 +131,9 @@ mod tests {
     fn conductivity_raises_loss_only() {
         let f = Hertz::from_ghz(5.0);
         let fresh = DebyeModel::pure_water().permittivity(f);
-        let salty = DebyeModel::pure_water().with_conductivity(3.0).permittivity(f);
+        let salty = DebyeModel::pure_water()
+            .with_conductivity(3.0)
+            .permittivity(f);
         assert_eq!(fresh.real, salty.real);
         assert!(salty.imag > fresh.imag + 5.0);
     }

@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn air_is_nearly_lossless() {
-        assert!(Permittivity::AIR.imag == 0.0);
+        assert!(Permittivity::AIR.imag.abs() < f64::EPSILON);
         assert!((Permittivity::AIR.real - 1.0).abs() < 1e-3);
     }
 

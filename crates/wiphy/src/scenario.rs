@@ -11,9 +11,7 @@
 use crate::channel::{Environment, MultipathChannel, StandardNormal};
 use crate::complex::Complex;
 use crate::csi::{CsiCapture, CsiPacket, CsiSource};
-use crate::geometry::{
-    diffraction_severity, traverse_beaker, AntennaArray, Cylinder, Point, Ray,
-};
+use crate::geometry::{diffraction_severity, traverse_beaker, AntennaArray, Cylinder, Point, Ray};
 use crate::hardware::HardwareProfile;
 use crate::material::{
     ContainerMaterial, DebyeModel, Dielectric, Liquid, Permittivity, PropagationConstants,
@@ -350,10 +348,7 @@ impl ScenarioBuilder {
             n_antennas: self.n_antennas,
             antenna_spacing: self.antenna_spacing,
             beaker: self.beaker.clone(),
-            target_center: Point::new(
-                self.link_distance.value() / 2.0,
-                self.target_offset.value(),
-            ),
+            target_center: Point::new(self.link_distance.value() / 2.0, self.target_offset.value()),
             hardware: self.hardware.clone(),
             leakage_floor_db: self.leakage_floor_db,
             flow_noise: self.flow_noise,
@@ -385,6 +380,46 @@ pub struct Simulator {
     liquid: Option<LiquidSpec>,
     rng: StdRng,
     rays: Vec<Ray>,
+    /// Per-subcarrier centre frequencies, hoisted out of the packet loop.
+    freqs: Vec<Hertz>,
+    /// Free-space LoS response per antenna × subcarrier. Depends only on
+    /// the (immutable) geometry and channel, so it is computed once.
+    los: Vec<Vec<Complex>>,
+    /// Cached [`Simulator::compute_target_insertions`] result. The
+    /// insertion factors are deterministic in the scenario and the current
+    /// liquid, so they stay valid until [`Simulator::set_liquid`] clears
+    /// them; only jitter, ray perturbation, multipath and hardware
+    /// impairments are stochastic per packet.
+    insertions_cache: Option<Vec<Vec<Complex>>>,
+    /// Static multipath path gains per antenna × subcarrier × scatterer
+    /// (`gain · e^{−jβ₀d}` for each scatterer). The scatterer geometry is
+    /// fixed once the channel is realised, so only the per-packet jitter
+    /// multipliers vary; caching these drops the per-scatterer distance
+    /// and `cis` work (the dominant per-packet cost) out of the loop.
+    mp_gains: Vec<Vec<Vec<Complex>>>,
+    /// Ray-perturbation spread (amplitude σ, phase σ), hoisted from the
+    /// per-packet draw; `None` when the scenario is perturbation-free.
+    perturb_sigmas: Option<(f64, f64)>,
+}
+
+/// Static multipath path gains for every (antenna, subcarrier) of a
+/// scenario — see [`MultipathChannel::path_gains`].
+fn compute_multipath_gains(
+    scenario: &Scenario,
+    multipath: &MultipathChannel,
+    freqs: &[Hertz],
+) -> Vec<Vec<Vec<Complex>>> {
+    let tx = scenario.tx_position();
+    scenario
+        .rx_array()
+        .iter()
+        .map(|&rx_pos| {
+            freqs
+                .iter()
+                .map(|&f| multipath.path_gains(tx, rx_pos, f))
+                .collect()
+        })
+        .collect()
 }
 
 impl Simulator {
@@ -395,13 +430,45 @@ impl Simulator {
         let rx = scenario.rx_array();
         let rx_center = Point::new(scenario.link_distance.value(), 0.0);
         let multipath = MultipathChannel::realize(scenario.environment, tx, rx_center, &mut rng);
-        let rays = rx.iter().map(|&p| Ray::new(tx, p)).collect();
+        let rays: Vec<Ray> = rx.iter().map(|&p| Ray::new(tx, p)).collect();
+
+        let n_sub = scenario.channel.num_subcarriers();
+        let freqs: Vec<Hertz> = (0..n_sub)
+            .map(|k| scenario.channel.subcarrier_freq(k))
+            .collect();
+        let d_ref = scenario.link_distance.value();
+        let los = rx
+            .iter()
+            .map(|&rx_pos| {
+                freqs
+                    .iter()
+                    .map(|&f| crate::channel::los_response(tx, rx_pos, f, d_ref))
+                    .collect()
+            })
+            .collect();
+
+        let lambda = scenario.channel.center.wavelength();
+        let severity = diffraction_severity(scenario.beaker.diameter, lambda);
+        let flow = scenario.flow_noise;
+        let perturb_sigmas = if severity == 0.0 && flow == 0.0 {
+            None
+        } else {
+            Some((0.6 * severity + 0.3 * flow, 2.5 * severity + 1.2 * flow))
+        };
+
+        let mp_gains = compute_multipath_gains(&scenario, &multipath, &freqs);
+
         Simulator {
             scenario,
             multipath,
             liquid: None,
             rng,
             rays,
+            freqs,
+            los,
+            insertions_cache: None,
+            mp_gains,
+            perturb_sigmas,
         }
     }
 
@@ -411,9 +478,39 @@ impl Simulator {
     }
 
     /// Sets (or clears) the liquid in the beaker. `None` means the empty
-    /// baseline beaker.
+    /// baseline beaker. Invalidates the cached insertion factors.
     pub fn set_liquid(&mut self, liquid: Option<LiquidSpec>) {
         self.liquid = liquid;
+        self.insertions_cache = None;
+    }
+
+    /// Drops every cached invariant so the next packet recomputes from
+    /// scratch: the per-subcarrier frequencies, the free-space LoS
+    /// responses, the static multipath path gains, and the target
+    /// insertion factors (everything that used to be recomputed per
+    /// packet). Caches repopulate automatically and results are
+    /// identical; this exists so benchmarks can measure the uncached
+    /// path.
+    pub fn invalidate_caches(&mut self) {
+        let n_sub = self.scenario.channel.num_subcarriers();
+        self.freqs = (0..n_sub)
+            .map(|k| self.scenario.channel.subcarrier_freq(k))
+            .collect();
+        let tx = self.scenario.tx_position();
+        let d_ref = self.scenario.link_distance.value();
+        self.los = self
+            .scenario
+            .rx_array()
+            .iter()
+            .map(|&rx_pos| {
+                self.freqs
+                    .iter()
+                    .map(|&f| crate::channel::los_response(tx, rx_pos, f, d_ref))
+                    .collect()
+            })
+            .collect();
+        self.mp_gains = compute_multipath_gains(&self.scenario, &self.multipath, &self.freqs);
+        self.insertions_cache = None;
     }
 
     /// The current liquid, if any.
@@ -428,32 +525,43 @@ impl Simulator {
         let outer = Cylinder::new(self.scenario.target_center, self.scenario.beaker.radius());
         self.rays
             .iter()
-            .map(|&ray| traverse_beaker(ray, outer, self.scenario.beaker.wall_thickness).liquid_path)
+            .map(|&ray| {
+                traverse_beaker(ray, outer, self.scenario.beaker.wall_thickness).liquid_path
+            })
             .collect()
     }
 
     /// Captures one CSI packet.
     pub fn packet(&mut self) -> CsiPacket {
         let n_ant = self.scenario.n_antennas;
-        let n_sub = self.scenario.channel.num_subcarriers();
-        let tx = self.scenario.tx_position();
-        let rx = self.scenario.rx_array();
-        let d_ref = self.scenario.link_distance.value();
+        let n_sub = self.freqs.len();
         let jitter = self.multipath.draw_jitter(&mut self.rng);
 
-        // Per-antenna target insertion across subcarriers.
-        let insertions = self.target_insertions();
+        // Per-packet flow/diffraction perturbation, one draw per antenna
+        // (same RNG draw order as the uncached implementation).
+        let perturbs: Vec<Complex> = (0..n_ant).map(|_| self.draw_ray_perturbation()).collect();
+
+        // Per-antenna target insertion across subcarriers: invariant until
+        // `set_liquid`, so it is computed once and cached.
+        if self.insertions_cache.is_none() {
+            self.insertions_cache = Some(self.compute_target_insertions());
+        }
+        let insertions = self
+            .insertions_cache
+            .as_ref()
+            .expect("insertion cache populated above");
 
         let mut packet = CsiPacket::zeros(n_ant, n_sub);
         for a in 0..n_ant {
-            let rx_pos = rx.position(a);
-            // Per-packet flow/diffraction perturbation for this antenna.
-            let perturb = self.draw_ray_perturbation();
-            for k in 0..n_sub {
-                let f = self.scenario.channel.subcarrier_freq(k);
-                let los = crate::channel::los_response(tx, rx_pos, f, d_ref);
-                let through = los * insertions[a][k] * perturb;
-                let mp = self.multipath.response(tx, rx_pos, f, &jitter, None);
+            let perturb = perturbs[a];
+            let subcarriers = self.los[a]
+                .iter()
+                .zip(&insertions[a])
+                .zip(&self.mp_gains[a])
+                .enumerate();
+            for (k, ((&los, &insertion), gains)) in subcarriers {
+                let through = los * insertion * perturb;
+                let mp = self.multipath.response_from_gains(gains, &jitter);
                 *packet.get_mut(a, k) = through + mp;
             }
         }
@@ -464,8 +572,9 @@ impl Simulator {
 
     /// Per-antenna, per-subcarrier complex insertion factor of the beaker
     /// (and liquid) on the LoS ray, with the common leakage floor applied.
-    fn target_insertions(&mut self) -> Vec<Vec<Complex>> {
-        let n_sub = self.scenario.channel.num_subcarriers();
+    /// Deterministic in `(scenario, liquid)` — see `insertions_cache`.
+    fn compute_target_insertions(&self) -> Vec<Vec<Complex>> {
+        let n_sub = self.freqs.len();
         let outer = Cylinder::new(self.scenario.target_center, self.scenario.beaker.radius());
         let wall = self.scenario.beaker.wall_thickness;
 
@@ -486,8 +595,7 @@ impl Simulator {
         for &ray in &self.rays {
             let trav = traverse_beaker(ray, outer, wall);
             let mut row = Vec::with_capacity(n_sub);
-            for k in 0..n_sub {
-                let f = self.scenario.channel.subcarrier_freq(k);
+            for &f in &self.freqs {
                 let air = PropagationConstants::air(f);
                 let mut ins = insertion_factor(wall_diel.propagation(f), air, trav.wall_path);
                 if let Some(liquid) = &self.liquid {
@@ -519,14 +627,9 @@ impl Simulator {
     /// Per-packet multiplicative perturbation of one LoS ray from liquid
     /// motion (flow noise) and sub-wavelength diffraction.
     fn draw_ray_perturbation(&mut self) -> Complex {
-        let lambda = self.scenario.channel.center.wavelength();
-        let severity = diffraction_severity(self.scenario.beaker.diameter, lambda);
-        let flow = self.scenario.flow_noise;
-        if severity == 0.0 && flow == 0.0 {
+        let Some((amp_sigma, phase_sigma)) = self.perturb_sigmas else {
             return Complex::ONE;
-        }
-        let amp_sigma = 0.6 * severity + 0.3 * flow;
-        let phase_sigma = 2.5 * severity + 1.2 * flow;
+        };
         let g: f64 = 1.0 + amp_sigma * self.rng.sample(StandardNormal);
         let p: f64 = phase_sigma * self.rng.sample(StandardNormal);
         Complex::from_polar(g.max(0.05), p)
@@ -535,7 +638,11 @@ impl Simulator {
 
 impl CsiSource for Simulator {
     fn capture(&mut self, n_packets: usize) -> CsiCapture {
-        (0..n_packets).map(|_| self.packet()).collect()
+        let mut packets = Vec::with_capacity(n_packets);
+        for _ in 0..n_packets {
+            packets.push(self.packet());
+        }
+        CsiCapture::from_packets(packets)
     }
 }
 
@@ -730,8 +837,7 @@ mod tests {
         let cap = sim.capture(40);
         let series = cap.amplitude_series(0, 15);
         let mean = series.iter().sum::<f64>() / series.len() as f64;
-        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / series.len() as f64;
+        let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / series.len() as f64;
         assert!(
             var.sqrt() / mean > 0.05,
             "diffraction should churn the amplitude"
@@ -767,6 +873,43 @@ mod tests {
             .fold((0.0, 0.0), |(s, c), &a| (s + a.sin(), c + a.cos()));
         let r = (s * s + c * c).sqrt() / angles.len() as f64;
         (-2.0 * r.max(1e-12).ln()).sqrt()
+    }
+
+    #[test]
+    fn cached_insertions_match_forced_recompute() {
+        // One simulator rides the insertion cache across packets; its twin
+        // recomputes from scratch before every packet. The captures must be
+        // bitwise identical (cache invalidation draws nothing from the RNG).
+        let mut builder = Scenario::builder();
+        builder.flow_noise(0.3);
+        let scenario = builder.build();
+        let mut cached = Simulator::new(scenario.clone(), 21);
+        let mut uncached = Simulator::new(scenario, 21);
+        cached.set_liquid(Some(Liquid::Milk.into()));
+        uncached.set_liquid(Some(Liquid::Milk.into()));
+        for _ in 0..5 {
+            uncached.invalidate_caches();
+            assert_eq!(cached.packet(), uncached.packet());
+        }
+    }
+
+    #[test]
+    fn set_liquid_invalidates_insertions() {
+        // Pouring a different liquid must change the through-target CSI
+        // even though the cache was warm from earlier packets.
+        let quiet = {
+            let mut b = Scenario::builder();
+            b.hardware(HardwareProfile::ideal());
+            b.environment(Environment::EmptyHall);
+            b.build()
+        };
+        let mut sim = Simulator::new(quiet, 31);
+        sim.set_liquid(Some(Liquid::Oil.into()));
+        let oil = sim.packet();
+        sim.set_liquid(Some(Liquid::PureWater.into()));
+        let water = sim.packet();
+        let delta = (oil.get(0, 15) - water.get(0, 15)).abs();
+        assert!(delta > 0.01, "stale insertion cache: delta = {delta}");
     }
 
     #[test]

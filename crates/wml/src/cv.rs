@@ -92,7 +92,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let result = cross_validate_svm(&ds, &SvmParams::default(), 4, &mut rng);
         assert_eq!(result.fold_accuracies.len(), 4);
-        assert!(result.mean_accuracy() > 0.95, "acc = {}", result.mean_accuracy());
+        assert!(
+            result.mean_accuracy() > 0.95,
+            "acc = {}",
+            result.mean_accuracy()
+        );
         assert!(result.confusion.accuracy() > 0.95);
     }
 

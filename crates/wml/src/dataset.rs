@@ -189,7 +189,11 @@ impl Dataset {
         let mut train = Dataset::new(self.class_names.clone());
         let mut test = Dataset::new(self.class_names.clone());
         for i in 0..self.len() {
-            let target = if test_set.contains(&i) { &mut test } else { &mut train };
+            let target = if test_set.contains(&i) {
+                &mut test
+            } else {
+                &mut train
+            };
             target.push(self.features[i].clone(), self.labels[i]);
         }
         (train, test)

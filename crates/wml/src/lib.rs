@@ -28,6 +28,7 @@ pub mod dataset;
 pub mod knn;
 pub mod metrics;
 pub mod multiclass;
+pub mod par;
 pub mod scale;
 pub mod svm;
 

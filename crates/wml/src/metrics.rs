@@ -18,11 +18,7 @@ impl ConfusionMatrix {
     ///
     /// Panics if lengths mismatch, class list is empty, or any label is
     /// out of range.
-    pub fn from_predictions(
-        truth: &[usize],
-        predicted: &[usize],
-        class_names: &[String],
-    ) -> Self {
+    pub fn from_predictions(truth: &[usize], predicted: &[usize], class_names: &[String]) -> Self {
         assert_eq!(truth.len(), predicted.len(), "label vectors must align");
         assert!(!class_names.is_empty(), "need at least one class");
         let k = class_names.len();
@@ -137,12 +133,7 @@ impl fmt::Display for ConfusionMatrix {
 pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
     assert_eq!(truth.len(), predicted.len(), "label vectors must align");
     assert!(!truth.is_empty(), "need at least one sample");
-    truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count() as f64
-        / truth.len() as f64
+    truth.iter().zip(predicted).filter(|(t, p)| t == p).count() as f64 / truth.len() as f64
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 
 use crate::dataset::Dataset;
 use crate::svm::{BinarySvm, SvmParams};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A multiclass SVM built from `k(k−1)/2` one-vs-one binary machines with
 /// majority voting (decision values break ties).
@@ -35,6 +36,16 @@ impl MulticlassSvm {
     /// Trains one binary SVM per class pair. Pairs where either class has
     /// no samples are skipped.
     ///
+    /// The `k(k−1)/2` machines are trained in parallel on scoped threads
+    /// (worker count from `WIMI_THREADS`, see [`crate::par`]). One seed
+    /// per machine is drawn from `rng` *serially in ascending pair order*
+    /// before the fan-out, and each machine runs SMO with its own
+    /// [`StdRng`] derived from that seed — so the trained model is
+    /// bitwise identical no matter how many threads run or how they are
+    /// scheduled. (This derivation replaced training every machine from
+    /// the caller's single sequential stream; models trained by older
+    /// revisions differ numerically but not statistically.)
+    ///
     /// # Panics
     ///
     /// Panics if the dataset has fewer than two populated classes.
@@ -46,27 +57,33 @@ impl MulticlassSvm {
             "multiclass training needs at least two populated classes"
         );
         let k = ds.n_classes();
-        let mut machines = Vec::with_capacity(k * (k - 1) / 2);
+        let mut jobs: Vec<(usize, usize, u64)> = Vec::with_capacity(k * (k - 1) / 2);
         for a in 0..k {
             for b in (a + 1)..k {
                 if counts[a] == 0 || counts[b] == 0 {
                     continue;
                 }
-                let mut xs = Vec::with_capacity(counts[a] + counts[b]);
-                let mut ys = Vec::with_capacity(counts[a] + counts[b]);
-                for i in 0..ds.len() {
-                    let (x, y) = ds.sample(i);
-                    if y == a {
-                        xs.push(x.to_vec());
-                        ys.push(1.0);
-                    } else if y == b {
-                        xs.push(x.to_vec());
-                        ys.push(-1.0);
-                    }
-                }
-                machines.push((a, b, BinarySvm::train(&xs, &ys, params, rng)));
+                jobs.push((a, b, rng.gen::<u64>()));
             }
         }
+        let machines = crate::par::map(&jobs, |_, &(a, b, seed)| {
+            // Borrowed feature views: the one-vs-one subset is gathered
+            // without cloning any sample.
+            let mut xs: Vec<&[f64]> = Vec::with_capacity(counts[a] + counts[b]);
+            let mut ys: Vec<f64> = Vec::with_capacity(counts[a] + counts[b]);
+            for i in 0..ds.len() {
+                let (x, y) = ds.sample(i);
+                if y == a {
+                    xs.push(x);
+                    ys.push(1.0);
+                } else if y == b {
+                    xs.push(x);
+                    ys.push(-1.0);
+                }
+            }
+            let mut machine_rng = StdRng::seed_from_u64(seed);
+            (a, b, BinarySvm::train(&xs, &ys, params, &mut machine_rng))
+        });
         MulticlassSvm {
             machines,
             n_classes: k,
@@ -162,6 +179,29 @@ mod tests {
         assert_eq!(model.n_machines(), 1);
         assert_eq!(model.predict(&[0.0]), 0);
         assert_eq!(model.predict(&[3.5]), 1);
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        // Per-machine RNG streams are derived from seeds drawn before the
+        // fan-out, so 1 worker and 4 workers must produce bitwise
+        // identical machines (support vectors, coefficients, biases).
+        let ds = three_blobs(12);
+        let train = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng)
+        };
+        std::env::set_var("WIMI_THREADS", "1");
+        let serial = train();
+        std::env::set_var("WIMI_THREADS", "4");
+        let parallel = train();
+        std::env::remove_var("WIMI_THREADS");
+        assert_eq!(serial.n_classes, parallel.n_classes);
+        assert_eq!(serial.machines, parallel.machines);
+        assert!(serial
+            .machines
+            .iter()
+            .all(|(_, _, m)| m.n_support_vectors() >= 2));
     }
 
     #[test]

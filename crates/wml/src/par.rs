@@ -1,0 +1,137 @@
+//! Zero-dependency parallel fan-out on scoped threads.
+//!
+//! The build environment cannot pull external crates (no rayon), so this
+//! module provides the one primitive the workspace needs: an order-
+//! preserving parallel map over a slice, built on [`std::thread::scope`].
+//! It is used by the one-vs-one SVM trainer in this crate, re-exported as
+//! `wimi_core::par` for the extraction pipeline, and consumed by the
+//! experiment harness for the (trial × material) measurement fan-out.
+//!
+//! # Thread count
+//!
+//! The worker count comes from the `WIMI_THREADS` environment variable
+//! when set (minimum 1), otherwise from
+//! [`std::thread::available_parallelism`]. Callers must not bake the
+//! thread count into results: every parallel site in the workspace derives
+//! its per-item randomness from per-item seeds, so output is bitwise
+//! identical for any `WIMI_THREADS` value.
+//!
+//! # Panics
+//!
+//! A panic inside a worker is forwarded to the caller (the scope joins all
+//! workers first), so `map` behaves like the equivalent serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The configured maximum worker count: `WIMI_THREADS` if set and ≥ 1,
+/// else [`std::thread::available_parallelism`].
+pub fn max_threads() -> usize {
+    match std::env::var("WIMI_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Maps `f` over `items` in parallel, preserving input order in the
+/// output. `f` receives `(index, &item)`.
+///
+/// Work is distributed dynamically: each worker claims the next unclaimed
+/// index from a shared atomic counter, so uneven per-item cost balances
+/// itself. With one worker (or one item) this degrades to a plain serial
+/// loop with no thread spawn.
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = max_threads().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => indexed.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Like [`map`] over a range of indices `0..n` with no backing slice.
+pub fn map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let indices: Vec<usize> = (0..n).collect();
+    map(&indices, |_, &i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map(&empty, |_, &x| x).is_empty());
+        assert_eq!(map(&[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_indices_counts() {
+        assert_eq!(map_indices(4, |i| i * i), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let items: Vec<usize> = (0..64).collect();
+            map(&items, |_, &x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn max_threads_is_at_least_one() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -104,8 +104,8 @@ mod tests {
         for d in 0..2 {
             let col: Vec<f64> = z.iter().map(|row| row[d]).collect();
             let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
-            let var: f64 = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                / col.len() as f64;
+            let var: f64 =
+                col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / col.len() as f64;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-12);
         }

@@ -37,11 +37,7 @@ impl Kernel {
         match *self {
             Kernel::Linear => dot(x, y),
             Kernel::Rbf { gamma } => {
-                let d2: f64 = x
-                    .iter()
-                    .zip(y)
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d2: f64 = x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum();
                 (-gamma * d2).exp()
             }
             Kernel::Polynomial { degree, coef0 } => (dot(x, y) + coef0).powi(degree as i32),
@@ -92,12 +88,15 @@ pub struct BinarySvm {
 impl BinarySvm {
     /// Trains on `xs` with ±1 labels `ys` using simplified SMO.
     ///
+    /// Accepts any slice of feature rows (`Vec<f64>`, `&[f64]`, …) so
+    /// callers can pass borrowed views instead of cloning each sample.
+    ///
     /// # Panics
     ///
     /// Panics if inputs are empty or mismatched, labels are not ±1, or
     /// only one class is present.
-    pub fn train<R: Rng + ?Sized>(
-        xs: &[Vec<f64>],
+    pub fn train<X: AsRef<[f64]>, R: Rng + ?Sized>(
+        xs: &[X],
         ys: &[f64],
         params: &SvmParams,
         rng: &mut R,
@@ -114,24 +113,29 @@ impl BinarySvm {
         );
 
         let n = xs.len();
-        // Precompute the kernel matrix (training sets here are small: tens
-        // to a few hundred samples).
-        let mut k = vec![vec![0.0; n]; n];
+        // Precompute the kernel matrix in one flat row-major allocation,
+        // evaluating only the upper triangle and mirroring (the kernel is
+        // symmetric). Training sets here are small: tens to a few hundred
+        // samples.
+        let mut k = vec![0.0f64; n * n];
         for i in 0..n {
-            for j in i..n {
-                let v = params.kernel.eval(&xs[i], &xs[j]);
-                k[i][j] = v;
-                k[j][i] = v;
+            let xi = xs[i].as_ref();
+            k[i * n + i] = params.kernel.eval(xi, xi);
+            for j in (i + 1)..n {
+                let v = params.kernel.eval(xi, xs[j].as_ref());
+                k[i * n + j] = v;
+                k[j * n + i] = v;
             }
         }
 
         let mut alpha = vec![0.0f64; n];
         let mut b = 0.0f64;
-        let f = |alpha: &[f64], b: f64, k: &[Vec<f64>], i: usize| -> f64 {
+        let f = |alpha: &[f64], b: f64, k: &[f64], i: usize| -> f64 {
             let mut s = b;
+            let row = &k[i * n..(i + 1) * n];
             for j in 0..n {
                 if alpha[j] != 0.0 {
-                    s += alpha[j] * ys[j] * k[i][j];
+                    s += alpha[j] * ys[j] * row[j];
                 }
             }
             s
@@ -170,7 +174,8 @@ impl BinarySvm {
                 if lo >= hi {
                     continue;
                 }
-                let eta = 2.0 * k[i][j] - k[i][i] - k[j][j];
+                let (k_ii, k_ij, k_jj) = (k[i * n + i], k[i * n + j], k[j * n + j]);
+                let eta = 2.0 * k_ij - k_ii - k_jj;
                 if eta >= 0.0 {
                     continue;
                 }
@@ -183,12 +188,8 @@ impl BinarySvm {
                 alpha[i] = a_i;
                 alpha[j] = a_j;
 
-                let b1 = b - e_i
-                    - ys[i] * (a_i - a_i_old) * k[i][i]
-                    - ys[j] * (a_j - a_j_old) * k[i][j];
-                let b2 = b - e_j
-                    - ys[i] * (a_i - a_i_old) * k[i][j]
-                    - ys[j] * (a_j - a_j_old) * k[j][j];
+                let b1 = b - e_i - ys[i] * (a_i - a_i_old) * k_ii - ys[j] * (a_j - a_j_old) * k_ij;
+                let b2 = b - e_j - ys[i] * (a_i - a_i_old) * k_ij - ys[j] * (a_j - a_j_old) * k_jj;
                 b = if 0.0 < a_i && a_i < params.c {
                     b1
                 } else if 0.0 < a_j && a_j < params.c {
@@ -210,7 +211,7 @@ impl BinarySvm {
         let mut coefficients = Vec::new();
         for i in 0..n {
             if alpha[i] > 1e-8 {
-                support_vectors.push(xs[i].clone());
+                support_vectors.push(xs[i].as_ref().to_vec());
                 coefficients.push(alpha[i] * ys[i]);
             }
         }
@@ -331,7 +332,10 @@ mod tests {
         let svm = BinarySvm::train(&xs, &ys, &SvmParams::default(), &mut rng);
         let near = svm.decision(&[0.5, 0.0]);
         let far = svm.decision(&[3.0, 0.0]);
-        assert!(far > near, "decision should grow with distance: {near} vs {far}");
+        assert!(
+            far > near,
+            "decision should grow with distance: {near} vs {far}"
+        );
     }
 
     #[test]

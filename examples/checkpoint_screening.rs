@@ -59,8 +59,13 @@ fn main() {
     let mut db = MaterialDatabase::new();
     for trial in 0..12u64 {
         for (i, (name, spec)) in classes.iter().enumerate() {
-            if let Some(f) = measure(&extractor, spec, false, 100 + trial * 13 + i as u64, &mut rng)
-            {
+            if let Some(f) = measure(
+                &extractor,
+                spec,
+                false,
+                100 + trial * 13 + i as u64,
+                &mut rng,
+            ) {
                 db.add(name, f);
             }
         }
@@ -86,12 +91,16 @@ fn main() {
             Some(f) => {
                 let label = wimi.classify_feature(&f).expect("trained");
                 let name = db.name(label);
-                let alarm = if name.starts_with("FLAGGED") { "  << ALARM" } else { "" };
+                let alarm = if name.starts_with("FLAGGED") {
+                    "  << ALARM"
+                } else {
+                    ""
+                };
                 println!("  {desc:<26} -> {name}{alarm}");
             }
-            None => println!(
-                "  {desc:<26} -> MEASUREMENT REFUSED (no penetration — inspect manually)"
-            ),
+            None => {
+                println!("  {desc:<26} -> MEASUREMENT REFUSED (no penetration — inspect manually)")
+            }
         }
     }
 }

@@ -74,7 +74,12 @@ fn main() {
     let mut db = MaterialDatabase::new();
     for trial in 0..12u64 {
         for (name, stage) in [("fresh", 0usize), ("sour", 4)] {
-            if let Some(f) = measure(&extractor, &milk_at_stage(stage), 700 + trial * 7 + stage as u64, &mut rng) {
+            if let Some(f) = measure(
+                &extractor,
+                &milk_at_stage(stage),
+                700 + trial * 7 + stage as u64,
+                &mut rng,
+            ) {
                 db.add(name, f);
             }
         }
@@ -86,7 +91,12 @@ fn main() {
     let mut total = 0usize;
     for trial in 0..10u64 {
         for (name, stage) in [("fresh", 0usize), ("sour", 4)] {
-            if let Some(f) = measure(&extractor, &milk_at_stage(stage), 40_000 + trial * 3 + stage as u64, &mut rng) {
+            if let Some(f) = measure(
+                &extractor,
+                &milk_at_stage(stage),
+                40_000 + trial * 3 + stage as u64,
+                &mut rng,
+            ) {
                 let label = wimi.classify_feature(&f).expect("trained");
                 total += 1;
                 correct += (db.name(label) == name) as usize;

@@ -35,7 +35,10 @@ fn main() {
                     );
                     db.add(liquid.name(), feature);
                 }
-                Err(e) => println!("train {:<10} trial {trial}: re-measure ({e})", liquid.name()),
+                Err(e) => println!(
+                    "train {:<10} trial {trial}: re-measure ({e})",
+                    liquid.name()
+                ),
             }
         }
     }
@@ -65,7 +68,10 @@ fn main() {
                         if ok { "✓" } else { "✗" }
                     );
                 }
-                Err(e) => println!("  truth {:<10} -> measurement rejected ({e})", liquid.name()),
+                Err(e) => println!(
+                    "  truth {:<10} -> measurement rejected ({e})",
+                    liquid.name()
+                ),
             }
         }
     }

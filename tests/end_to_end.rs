@@ -75,12 +75,24 @@ fn feature_is_size_independent_across_beakers() {
     let mut big = Vec::new();
     let mut small = Vec::new();
     for trial in 0..12u64 {
-        if let Some(f) = measure(&extractor, &Liquid::Milk.into(), 50 + trial, &mut rng, |_| {}) {
+        if let Some(f) = measure(
+            &extractor,
+            &Liquid::Milk.into(),
+            50 + trial,
+            &mut rng,
+            |_| {},
+        ) {
             big.push(f.omega_mean());
         }
-        if let Some(f) = measure(&extractor, &Liquid::Milk.into(), 500 + trial, &mut rng, |b| {
-            b.beaker(Beaker::paper_default().with_diameter(Meters::from_cm(11.0)));
-        }) {
+        if let Some(f) = measure(
+            &extractor,
+            &Liquid::Milk.into(),
+            500 + trial,
+            &mut rng,
+            |b| {
+                b.beaker(Beaker::paper_default().with_diameter(Meters::from_cm(11.0)));
+            },
+        ) {
             small.push(f.omega_mean());
         }
     }
@@ -169,15 +181,23 @@ fn flowing_liquid_degrades_or_refuses() {
 #[test]
 fn two_antenna_receiver_still_works() {
     // The Fixed-pair path serves two-antenna hardware.
-    let mut config = WiMiConfig::default();
-    config.pairs = wimi::core::PairSelection::Fixed(0, 1);
+    let config = WiMiConfig {
+        pairs: wimi::core::PairSelection::Fixed(0, 1),
+        ..WiMiConfig::default()
+    };
     let extractor = WiMi::new(config);
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     let mut got = 0usize;
     for trial in 0..8u64 {
-        if let Some(f) = measure(&extractor, &Liquid::Honey.into(), 80 + trial, &mut rng, |b| {
-            b.antennas(2, Meters::from_cm(2.9));
-        }) {
+        if let Some(f) = measure(
+            &extractor,
+            &Liquid::Honey.into(),
+            80 + trial,
+            &mut rng,
+            |b| {
+                b.antennas(2, Meters::from_cm(2.9));
+            },
+        ) {
             assert!(f.omega_mean().is_finite());
             got += 1;
         }

@@ -41,9 +41,8 @@ fn measured_delta_theta_matches_equation_18() {
         let measured = wimi::dsp::stats::wrap_to_pi(
             mean_phase_diff(&tar, 0, 1, 15) - mean_phase_diff(&base, 0, 1, 15),
         );
-        let expected = wimi::dsp::stats::wrap_to_pi(
-            -(paths[0] - paths[1]).value() * (pc.beta - air.beta),
-        );
+        let expected =
+            wimi::dsp::stats::wrap_to_pi(-(paths[0] - paths[1]).value() * (pc.beta - air.beta));
         let err = wimi::dsp::stats::wrap_to_pi(measured - expected).abs();
         assert!(
             err < 0.3,

@@ -1,0 +1,189 @@
+//! Offline stand-in for the subset of `proptest` that the WiMi workspace
+//! uses.
+//!
+//! The build environment has no crates-registry access, so the real
+//! proptest cannot be fetched. This crate keeps `proptest! {}` test
+//! blocks compiling and genuinely exercises them: each property runs
+//! [`NUM_CASES`] times against deterministically seeded random inputs
+//! drawn from the declared strategies. There is no shrinking and no
+//! persisted failure file — a failing case panics with the assertion
+//! message, which is enough to reproduce (the input stream is fixed).
+
+/// Number of random cases each property is executed with.
+pub const NUM_CASES: usize = 96;
+
+/// Deterministic input generator for property tests (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fresh generator with the fixed test seed.
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x57E5_7B0B_57E5_7B0B,
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Input strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// Generates values of an input type for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one input.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "cannot sample an empty range");
+                    let r = rng.next_u64() as u128 % span;
+                    (self.start as i128 + r as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(usize, u64, u32, i64, i32);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy producing `Vec`s of another strategy's values.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector strategy with lengths drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each function body runs [`NUM_CASES`] times
+/// with inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($(#[$meta:meta] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[$meta]
+            fn $name() {
+                let mut __proptest_rng = $crate::TestRng::deterministic();
+                for __proptest_case in 0..$crate::NUM_CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            &mut __proptest_rng,
+                        );
+                    )+
+                    let _ = __proptest_case;
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property; panics with the formatted message on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..2.0, n in 1usize..9) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!((1..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(
+            xs in collection::vec(0.0f64..1.0, 3..17),
+        ) {
+            prop_assert!((3..17).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_repeats() {
+        let mut a = crate::TestRng::deterministic();
+        let mut b = crate::TestRng::deterministic();
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}
