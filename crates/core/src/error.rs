@@ -21,6 +21,19 @@ pub enum FeatureError {
     },
     /// The amplitude ratio collapsed to zero/∞ (blocked or saturated link).
     DegenerateAmplitude,
+    /// Screening left too few usable packets to extract from (severe
+    /// packet loss or dropout).
+    InsufficientPackets {
+        /// Packets that survived screening (smaller of the two captures).
+        kept: usize,
+        /// Minimum the extractor needs.
+        needed: usize,
+    },
+    /// A fixed-pair extraction names an antenna that screening found dead.
+    AntennaFailed {
+        /// The dead antenna's index in the original capture.
+        antenna: usize,
+    },
 }
 
 impl fmt::Display for FeatureError {
@@ -45,11 +58,142 @@ impl fmt::Display for FeatureError {
                     "amplitude ratio is degenerate (blocked or saturated link)"
                 )
             }
+            FeatureError::InsufficientPackets { kept, needed } => write!(
+                f,
+                "screening left only {kept} usable packets (need {needed})"
+            ),
+            FeatureError::AntennaFailed { antenna } => {
+                write!(f, "antenna {antenna} is dead (all-zero CSI)")
+            }
         }
     }
 }
 
 impl Error for FeatureError {}
+
+/// The pipeline stage an issue was detected in — the paper's Fig. 5
+/// workflow plus the capture screening that precedes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Capture screening: finite checks, dead-antenna and dropout triage.
+    Screening,
+    /// Cross-antenna phase calibration (phase differencing).
+    PhaseCalibration,
+    /// Good-subcarrier selection.
+    SubcarrierSelection,
+    /// Amplitude outlier rejection and wavelet denoising.
+    AmplitudeDenoising,
+    /// Phase-wrap (γ) resolution and Ω̄ consistency gating.
+    GammaResolution,
+    /// SVM classification.
+    Classification,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::Screening => "screening",
+            Stage::PhaseCalibration => "phase calibration",
+            Stage::SubcarrierSelection => "subcarrier selection",
+            Stage::AmplitudeDenoising => "amplitude denoising",
+            Stage::GammaResolution => "gamma resolution",
+            Stage::Classification => "classification",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What went wrong (or was salvaged around) at one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IssueKind {
+    /// Packets holding NaN/Inf CSI were discarded.
+    NonFinitePackets {
+        /// How many were dropped.
+        dropped: usize,
+    },
+    /// An antenna was dead (all-zero rows) often enough to be dropped for
+    /// the whole measurement.
+    DeadAntenna {
+        /// The antenna's index in the original capture.
+        antenna: usize,
+    },
+    /// Packets with an all-zero row on a surviving antenna (partial
+    /// dropout) were discarded.
+    PartialDropout {
+        /// How many were dropped.
+        dropped: usize,
+    },
+    /// Screening left fewer packets than the extractor wants.
+    ShortCapture {
+        /// Packets surviving screening.
+        kept: usize,
+        /// Minimum the extractor needs.
+        needed: usize,
+    },
+    /// Subcarriers whose amplitudes were unusable across the capture.
+    RejectedSubcarriers {
+        /// How many were rejected.
+        count: usize,
+    },
+    /// Fewer antenna pairs resolved a wrap count than were attempted.
+    PairsUnresolved {
+        /// Pairs the extractor attempted.
+        attempted: usize,
+        /// Pairs that resolved.
+        resolved: usize,
+    },
+    /// The stage failed outright with a feature error.
+    Extraction(FeatureError),
+}
+
+impl fmt::Display for IssueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueKind::NonFinitePackets { dropped } => {
+                write!(f, "dropped {dropped} non-finite packets")
+            }
+            IssueKind::DeadAntenna { antenna } => write!(f, "dropped dead antenna {antenna}"),
+            IssueKind::PartialDropout { dropped } => {
+                write!(f, "dropped {dropped} packets with dead-antenna rows")
+            }
+            IssueKind::ShortCapture { kept, needed } => {
+                write!(f, "only {kept} packets survived screening (want {needed})")
+            }
+            IssueKind::RejectedSubcarriers { count } => {
+                write!(f, "rejected {count} unusable subcarriers")
+            }
+            IssueKind::PairsUnresolved {
+                attempted,
+                resolved,
+            } => write!(f, "only {resolved}/{attempted} antenna pairs resolved"),
+            IssueKind::Extraction(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One issue encountered during a measurement, tagged with the stage that
+/// detected it. A measurement can succeed with a non-empty issue list —
+/// that is what graceful degradation means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageIssue {
+    /// The stage that detected the issue.
+    pub stage: Stage,
+    /// What happened.
+    pub kind: IssueKind,
+}
+
+impl StageIssue {
+    /// Convenience constructor.
+    pub fn new(stage: Stage, kind: IssueKind) -> Self {
+        StageIssue { stage, kind }
+    }
+}
+
+impl fmt::Display for StageIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.stage, self.kind)
+    }
+}
 
 /// Errors from identification.
 #[derive(Debug, Clone, PartialEq)]

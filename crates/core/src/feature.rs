@@ -263,6 +263,33 @@ impl MaterialFeature {
         inputs: &[PairMeasurement<'_>],
         config: &FeatureConfig,
     ) -> Result<MaterialFeature, FeatureError> {
+        Self::extract_joint_with_diag(inputs, config).0
+    }
+
+    /// Like [`MaterialFeature::extract_joint`], additionally reporting how
+    /// many pairs were attempted, usable, and resolved — the pipeline's
+    /// [quality report](crate::pipeline::QualityReport) is built from this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn extract_joint_with_diag(
+        inputs: &[PairMeasurement<'_>],
+        config: &FeatureConfig,
+    ) -> (Result<MaterialFeature, FeatureError>, JointDiagnostics) {
+        let mut diag = JointDiagnostics {
+            pairs_attempted: inputs.len(),
+            ..JointDiagnostics::default()
+        };
+        let result = Self::extract_joint_inner(inputs, config, &mut diag);
+        (result, diag)
+    }
+
+    fn extract_joint_inner(
+        inputs: &[PairMeasurement<'_>],
+        config: &FeatureConfig,
+        diag: &mut JointDiagnostics,
+    ) -> Result<MaterialFeature, FeatureError> {
         assert!(!inputs.is_empty(), "need at least one pair measurement");
 
         struct PairData {
@@ -306,6 +333,7 @@ impl MaterialFeature {
                 unwrapped_est,
             });
         }
+        diag.pairs_usable = per_pair.len();
         if per_pair.is_empty() {
             return Err(FeatureError::DegenerateAmplitude);
         }
@@ -472,6 +500,7 @@ impl MaterialFeature {
         // single-pair case is still served by [`Self::extract`] for
         // genuine two-antenna hardware.
         let min_resolved = if inputs.len() >= 2 { 2 } else { 1 };
+        diag.pairs_resolved = resolved.len();
         if resolved.len() < min_resolved {
             return Err(FeatureError::NoConsistentFeature {
                 best_dispersion: f64::INFINITY,
@@ -627,6 +656,19 @@ fn band_ln_psi(amp_base: &AmplitudeRatioProfile, amp_tar: &AmplitudeRatioProfile
     } else {
         Some(wimi_dsp::stats::median(&lps))
     }
+}
+
+/// Joint-extraction pair accounting from
+/// [`MaterialFeature::extract_joint_with_diag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JointDiagnostics {
+    /// Pairs handed to the extractor.
+    pub pairs_attempted: usize,
+    /// Pairs whose amplitudes were usable (finite, positive, band-median
+    /// computable).
+    pub pairs_usable: usize,
+    /// Pairs for which a phase-wrap count was resolved.
+    pub pairs_resolved: usize,
 }
 
 /// One antenna pair's measurement inputs for

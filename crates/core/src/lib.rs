@@ -86,8 +86,8 @@ pub use wimi_ml::par;
 pub use amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
 pub use antenna::{PairScore, PairSelection};
 pub use database::MaterialDatabase;
-pub use error::{FeatureError, IdentifyError};
-pub use feature::{FeatureConfig, MaterialFeature};
+pub use error::{FeatureError, IdentifyError, IssueKind, Stage, StageIssue};
+pub use feature::{FeatureConfig, JointDiagnostics, MaterialFeature};
 pub use phase::PhaseDifferenceProfile;
-pub use pipeline::{Identification, WiMi, WiMiConfig};
+pub use pipeline::{Identification, Measurement, QualityReport, WiMi, WiMiConfig};
 pub use subcarrier::SubcarrierSelection;

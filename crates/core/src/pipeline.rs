@@ -9,17 +9,25 @@
 use crate::amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
 use crate::antenna::PairSelection;
 use crate::database::MaterialDatabase;
-use crate::error::{FeatureError, IdentifyError};
+use crate::error::{FeatureError, IdentifyError, IssueKind, Stage, StageIssue};
 use crate::feature::{FeatureConfig, MaterialFeature};
 use crate::phase::PhaseDifferenceProfile;
 use crate::subcarrier::SubcarrierSelection;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::borrow::Cow;
 use wimi_ml::dataset::Dataset;
 use wimi_ml::multiclass::MulticlassSvm;
 use wimi_ml::scale::StandardScaler;
 use wimi_ml::svm::SvmParams;
 use wimi_phy::csi::CsiCapture;
+
+/// An antenna whose rows are all-zero in more than this fraction of a
+/// capture's finite packets is treated as dead and dropped for the whole
+/// measurement (rather than poisoning every pair it appears in).
+const DEAD_ANTENNA_FRACTION: f64 = 0.3;
+/// Minimum packets per capture the extractor accepts after screening.
+const MIN_SCREENED_PACKETS: usize = 4;
 
 /// Configuration of the full pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +57,68 @@ impl Default for WiMiConfig {
             svm: SvmParams::default(),
             train_seed: 0x5EED,
         }
+    }
+}
+
+/// Per-measurement quality accounting: what screening kept, what it
+/// dropped, and every issue any stage reported. A measurement can succeed
+/// with a non-empty issue list — that is graceful degradation, and the
+/// report is how callers (the experiment harness, a deployment monitor)
+/// see how close to the edge a measurement ran.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QualityReport {
+    /// Baseline packets before screening.
+    pub baseline_packets_total: usize,
+    /// Baseline packets surviving screening.
+    pub baseline_packets_kept: usize,
+    /// Target packets before screening.
+    pub target_packets_total: usize,
+    /// Target packets surviving screening.
+    pub target_packets_kept: usize,
+    /// Antennas in the original captures.
+    pub antennas_total: usize,
+    /// Antennas dropped as dead (original indices).
+    pub antennas_dropped: Vec<usize>,
+    /// Antenna pairs the extractor attempted.
+    pub pairs_attempted: usize,
+    /// Antenna pairs that resolved a phase-wrap count.
+    pub pairs_resolved: usize,
+    /// Subcarriers rejected as unusable across the capture.
+    pub subcarriers_rejected: usize,
+    /// Everything any stage reported, in detection order.
+    pub issues: Vec<StageIssue>,
+}
+
+impl QualityReport {
+    /// `true` when screening had to discard packets or antennas to make
+    /// the measurement work.
+    pub fn salvaged(&self) -> bool {
+        self.baseline_packets_kept < self.baseline_packets_total
+            || self.target_packets_kept < self.target_packets_total
+            || !self.antennas_dropped.is_empty()
+    }
+
+    /// `true` when nothing was dropped and no stage reported an issue.
+    pub fn is_clean(&self) -> bool {
+        !self.salvaged() && self.issues.is_empty()
+    }
+}
+
+/// One measurement: the extraction outcome plus its quality report. This
+/// is what [`WiMi::measure`] returns instead of a bare `Result` — the
+/// report is populated whether or not extraction succeeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// The extracted feature, or why extraction failed.
+    pub feature: Result<MaterialFeature, FeatureError>,
+    /// Quality accounting for the measurement.
+    pub quality: QualityReport,
+}
+
+impl Measurement {
+    /// `true` when a feature was extracted.
+    pub fn is_ok(&self) -> bool {
+        self.feature.is_ok()
     }
 }
 
@@ -121,42 +191,126 @@ impl WiMi {
         baseline: &CsiCapture,
         target: &CsiCapture,
     ) -> Result<MaterialFeature, FeatureError> {
+        self.measure(baseline, target).feature
+    }
+
+    /// Full measurement: screening, salvage, extraction, and a
+    /// [`QualityReport`] — the graceful-degradation entry point that
+    /// [`WiMi::extract_feature`] wraps.
+    ///
+    /// Screening discards packets holding NaN/Inf CSI, drops antennas
+    /// whose rows are all-zero in too many packets (a dead RF chain), and
+    /// then discards remaining packets with all-zero rows on a surviving
+    /// antenna. Extraction runs on the survivors; with three antennas a
+    /// dead chain costs two of the three pairs yet the measurement still
+    /// goes through on the remaining one. On clean captures screening is
+    /// a strict no-op: the extracted feature is bit-identical to what the
+    /// pre-salvage pipeline produced.
+    pub fn measure(&self, baseline: &CsiCapture, target: &CsiCapture) -> Measurement {
+        let mut quality = QualityReport {
+            baseline_packets_total: baseline.len(),
+            baseline_packets_kept: baseline.len(),
+            target_packets_total: target.len(),
+            target_packets_kept: target.len(),
+            antennas_total: baseline.n_antennas(),
+            ..QualityReport::default()
+        };
         if baseline.is_empty() || target.is_empty() {
-            return Err(FeatureError::EmptyCapture);
+            return failed(quality, FeatureError::EmptyCapture);
         }
         if baseline.n_antennas() != target.n_antennas()
             || baseline.n_subcarriers() != target.n_subcarriers()
         {
-            return Err(FeatureError::DimensionMismatch);
+            return failed(quality, FeatureError::DimensionMismatch);
         }
         if baseline.n_antennas() < 2 {
-            return Err(FeatureError::NeedTwoAntennas);
+            return failed(quality, FeatureError::NeedTwoAntennas);
         }
 
-        match &self.config.pairs {
-            PairSelection::Fixed(a, b) => self.extract_for_pair(baseline, target, *a, *b),
-            PairSelection::Best => self.extract_joint(baseline, target),
+        let screened = match screen(baseline, target, &mut quality) {
+            Ok(s) => s,
+            Err(e) => return failed(quality, e),
+        };
+        let base = screened.baseline.as_ref();
+        let tar = screened.target.as_ref();
+        let survivors = &screened.survivors;
+
+        let feature = match &self.config.pairs {
+            PairSelection::Fixed(a, b) => {
+                quality.pairs_attempted = 1;
+                let result = remap_fixed_pair(*a, *b, survivors)
+                    .and_then(|(ra, rb)| self.extract_for_pair(base, tar, ra, rb));
+                quality.pairs_resolved = result.is_ok() as usize;
+                result
+            }
+            PairSelection::Best
+                if base.n_antennas() == 2 && !quality.antennas_dropped.is_empty() =>
+            {
+                // Salvage left a single pair: the joint extractor's
+                // cross-pair ambiguity gate has nothing to compare against
+                // and would refuse; the single-pair path (built for
+                // two-antenna hardware) handles this.
+                quality.pairs_attempted = 1;
+                let result = self.extract_for_pair(base, tar, 0, 1);
+                quality.pairs_resolved = result.is_ok() as usize;
+                result
+            }
+            PairSelection::Best => {
+                let (result, diag) = self.extract_joint(base, tar);
+                quality.pairs_attempted = diag.pairs_attempted;
+                quality.pairs_resolved = diag.pairs_resolved;
+                if diag.pairs_resolved < diag.pairs_attempted {
+                    quality.issues.push(StageIssue::new(
+                        Stage::GammaResolution,
+                        IssueKind::PairsUnresolved {
+                            attempted: diag.pairs_attempted,
+                            resolved: diag.pairs_resolved,
+                        },
+                    ));
+                }
+                result
+            }
             PairSelection::All => {
                 // Every pair extracts independently, so fan out across
                 // workers; errors surface in ascending pair order exactly
                 // as the serial loop reported them.
-                let pairs = crate::antenna::enumerate_pairs(baseline.n_antennas());
-                let extracted = crate::par::map(&pairs, |_, &(a, b)| {
-                    self.extract_for_pair(baseline, target, a, b)
-                });
-                let mut combined: Option<MaterialFeature> = None;
+                let pairs = crate::antenna::enumerate_pairs(base.n_antennas());
+                quality.pairs_attempted = pairs.len();
+                let extracted =
+                    crate::par::map(&pairs, |_, &(a, b)| self.extract_for_pair(base, tar, a, b));
+                quality.pairs_resolved = extracted.iter().filter(|f| f.is_ok()).count();
+                let mut combined: Result<Option<MaterialFeature>, FeatureError> = Ok(None);
                 for f in extracted {
-                    let f = f?;
-                    match &mut combined {
-                        None => combined = Some(f),
-                        Some(c) => {
-                            c.omega.extend(f.omega);
-                            c.dispersion = c.dispersion.max(f.dispersion);
-                        }
+                    combined = combined.and_then(|acc| {
+                        let f = f?;
+                        Ok(Some(match acc {
+                            None => f,
+                            Some(mut c) => {
+                                c.omega.extend(f.omega);
+                                c.dispersion = c.dispersion.max(f.dispersion);
+                                c
+                            }
+                        }))
+                    });
+                    if combined.is_err() {
+                        break;
                     }
                 }
-                combined.ok_or(FeatureError::NeedTwoAntennas)
+                combined.and_then(|c| c.ok_or(FeatureError::NeedTwoAntennas))
             }
+        };
+
+        match feature {
+            Ok(mut f) => {
+                // Report the pair in the original capture's antenna
+                // numbering even when screening dropped antennas.
+                f.pair = (survivors[f.pair.0], survivors[f.pair.1]);
+                Measurement {
+                    feature: Ok(f),
+                    quality,
+                }
+            }
+            Err(e) => failed(quality, e),
         }
     }
 
@@ -166,7 +320,10 @@ impl WiMi {
         &self,
         baseline: &CsiCapture,
         target: &CsiCapture,
-    ) -> Result<MaterialFeature, FeatureError> {
+    ) -> (
+        Result<MaterialFeature, FeatureError>,
+        crate::feature::JointDiagnostics,
+    ) {
         // The per-pair profile computation (phase differencing, subcarrier
         // ranking, amplitude denoising) is the hot path of every
         // measurement and is independent across pairs — fan it out.
@@ -191,7 +348,7 @@ impl WiMi {
                 }
             })
             .collect();
-        MaterialFeature::extract_joint(&inputs, &self.config.feature)
+        MaterialFeature::extract_joint_with_diag(&inputs, &self.config.feature)
     }
 
     fn extract_for_pair(
@@ -278,6 +435,246 @@ impl WiMi {
         let scaler = self.scaler.as_ref().ok_or(IdentifyError::NotTrained)?;
         Ok(model.predict(&scaler.transform_one(&feature.as_vector())))
     }
+}
+
+/// Finalises a failed measurement, filing the error under the stage that
+/// produced it.
+fn failed(mut quality: QualityReport, err: FeatureError) -> Measurement {
+    quality.issues.push(StageIssue::new(
+        stage_of(&err),
+        IssueKind::Extraction(err.clone()),
+    ));
+    Measurement {
+        feature: Err(err),
+        quality,
+    }
+}
+
+/// The pipeline stage a [`FeatureError`] originates from.
+fn stage_of(err: &FeatureError) -> Stage {
+    match err {
+        FeatureError::EmptyCapture
+        | FeatureError::DimensionMismatch
+        | FeatureError::NeedTwoAntennas
+        | FeatureError::InsufficientPackets { .. }
+        | FeatureError::AntennaFailed { .. } => Stage::Screening,
+        FeatureError::DegenerateAmplitude => Stage::AmplitudeDenoising,
+        FeatureError::NoConsistentFeature { .. } => Stage::GammaResolution,
+    }
+}
+
+/// Maps a fixed pair's original antenna indices into the post-screening
+/// numbering, or reports which antenna screening found dead.
+fn remap_fixed_pair(
+    a: usize,
+    b: usize,
+    survivors: &[usize],
+) -> Result<(usize, usize), FeatureError> {
+    let find = |x: usize| {
+        survivors
+            .iter()
+            .position(|&s| s == x)
+            .ok_or(FeatureError::AntennaFailed { antenna: x })
+    };
+    Ok((find(a)?, find(b)?))
+}
+
+/// Screened captures: possibly rebuilt (bad packets/antennas removed),
+/// borrowed untouched when the input was clean.
+struct Screened<'a> {
+    baseline: Cow<'a, CsiCapture>,
+    target: Cow<'a, CsiCapture>,
+    /// Original indices of the surviving antennas, ascending. Survivor
+    /// `i` of the screened captures is original antenna `survivors[i]`.
+    survivors: Vec<usize>,
+}
+
+/// Per-capture scan: finite mask, per-packet/per-antenna all-zero rows,
+/// and whether any individual channel estimate was exactly zero.
+struct CapScan {
+    finite: Vec<bool>,
+    zero_rows: Vec<Vec<bool>>,
+    n_finite: usize,
+    saw_zero: bool,
+}
+
+fn scan_capture(cap: &CsiCapture, n_ant: usize) -> CapScan {
+    let mut finite = Vec::with_capacity(cap.len());
+    let mut zero_rows = Vec::with_capacity(cap.len());
+    let mut n_finite = 0usize;
+    let mut saw_zero = false;
+    for p in cap.iter() {
+        let fin = p.is_finite();
+        n_finite += fin as usize;
+        finite.push(fin);
+        let rows: Vec<bool> = (0..n_ant).map(|a| p.antenna_is_zero(a)).collect();
+        if !saw_zero {
+            saw_zero = (0..n_ant).any(|a| p.antenna_row(a).iter().any(|h| h.norm_sqr() == 0.0));
+        }
+        zero_rows.push(rows);
+    }
+    CapScan {
+        finite,
+        zero_rows,
+        n_finite,
+        saw_zero,
+    }
+}
+
+/// Screens a baseline/target pair: drops non-finite packets, dead
+/// antennas, and partial-dropout packets, recording everything in the
+/// quality report. Clean captures pass through untouched (borrowed).
+fn screen<'a>(
+    baseline: &'a CsiCapture,
+    target: &'a CsiCapture,
+    quality: &mut QualityReport,
+) -> Result<Screened<'a>, FeatureError> {
+    let n_ant = baseline.n_antennas();
+    let scan_b = scan_capture(baseline, n_ant);
+    let scan_t = scan_capture(target, n_ant);
+
+    let non_finite = (baseline.len() - scan_b.n_finite) + (target.len() - scan_t.n_finite);
+    if non_finite > 0 {
+        quality.issues.push(StageIssue::new(
+            Stage::Screening,
+            IssueKind::NonFinitePackets {
+                dropped: non_finite,
+            },
+        ));
+    }
+    if scan_b.n_finite == 0 || scan_t.n_finite == 0 {
+        quality.baseline_packets_kept = scan_b.n_finite;
+        quality.target_packets_kept = scan_t.n_finite;
+        return Err(FeatureError::InsufficientPackets {
+            kept: scan_b.n_finite.min(scan_t.n_finite),
+            needed: MIN_SCREENED_PACKETS,
+        });
+    }
+
+    // Dead-antenna triage: the worst fraction of all-zero rows either
+    // capture shows for the antenna, over its finite packets.
+    let zero_fraction = |scan: &CapScan, a: usize| -> f64 {
+        let zeros = scan
+            .zero_rows
+            .iter()
+            .zip(&scan.finite)
+            .filter(|(rows, &fin)| fin && rows[a])
+            .count();
+        zeros as f64 / scan.n_finite as f64
+    };
+    let mut candidates: Vec<(usize, f64)> = (0..n_ant)
+        .map(|a| {
+            let f = zero_fraction(&scan_b, a).max(zero_fraction(&scan_t, a));
+            (a, f)
+        })
+        .filter(|&(_, f)| f > DEAD_ANTENNA_FRACTION)
+        .collect();
+    // Worst first; never drop below the two antennas a pair needs.
+    candidates.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite fraction"));
+    candidates.truncate(n_ant.saturating_sub(2));
+    let mut dropped_antennas: Vec<usize> = candidates.iter().map(|&(a, _)| a).collect();
+    dropped_antennas.sort_unstable();
+    for &a in &dropped_antennas {
+        quality.issues.push(StageIssue::new(
+            Stage::Screening,
+            IssueKind::DeadAntenna { antenna: a },
+        ));
+    }
+    let survivors: Vec<usize> = (0..n_ant)
+        .filter(|a| !dropped_antennas.contains(a))
+        .collect();
+
+    // Packet retention on the survivors: finite and no all-zero row.
+    let keep_mask = |scan: &CapScan| -> Vec<bool> {
+        scan.finite
+            .iter()
+            .zip(&scan.zero_rows)
+            .map(|(&fin, rows)| fin && survivors.iter().all(|&a| !rows[a]))
+            .collect()
+    };
+    let keep_b = keep_mask(&scan_b);
+    let keep_t = keep_mask(&scan_t);
+    let kept_b = keep_b.iter().filter(|&&k| k).count();
+    let kept_t = keep_t.iter().filter(|&&k| k).count();
+    let dropout_dropped = (scan_b.n_finite - kept_b) + (scan_t.n_finite - kept_t);
+    if dropout_dropped > 0 {
+        quality.issues.push(StageIssue::new(
+            Stage::Screening,
+            IssueKind::PartialDropout {
+                dropped: dropout_dropped,
+            },
+        ));
+    }
+    quality.baseline_packets_kept = kept_b;
+    quality.target_packets_kept = kept_t;
+    quality.antennas_dropped = dropped_antennas;
+
+    let salvaged = quality.salvaged();
+    let kept_min = kept_b.min(kept_t);
+    if salvaged && kept_min < MIN_SCREENED_PACKETS {
+        return Err(FeatureError::InsufficientPackets {
+            kept: kept_min,
+            needed: MIN_SCREENED_PACKETS,
+        });
+    }
+    if !salvaged && kept_min < MIN_SCREENED_PACKETS {
+        // A deliberately short clean capture is the caller's choice;
+        // note it and let extraction decide.
+        quality.issues.push(StageIssue::new(
+            Stage::Screening,
+            IssueKind::ShortCapture {
+                kept: kept_min,
+                needed: MIN_SCREENED_PACKETS,
+            },
+        ));
+    }
+
+    let rebuild = |cap: &CsiCapture, keep: &[bool]| -> CsiCapture {
+        cap.iter()
+            .zip(keep)
+            .filter(|(_, &k)| k)
+            .map(|(p, _)| p.select_antennas(&survivors))
+            .collect()
+    };
+    let (base, tar) = if salvaged {
+        (
+            Cow::Owned(rebuild(baseline, &keep_b)),
+            Cow::Owned(rebuild(target, &keep_t)),
+        )
+    } else {
+        (Cow::Borrowed(baseline), Cow::Borrowed(target))
+    };
+
+    // Subcarrier triage, only worth the scan when something was zero or
+    // dropped: a subcarrier whose amplitude median is zero on a surviving
+    // antenna in either capture carries no usable signal.
+    if salvaged || scan_b.saw_zero || scan_t.saw_zero {
+        let n_sub = base.n_subcarriers();
+        let rejected = (0..n_sub)
+            .filter(|&k| {
+                [base.as_ref(), tar.as_ref()].into_iter().any(|cap| {
+                    (0..cap.n_antennas()).any(|a| {
+                        let amps = cap.amplitude_series(a, k);
+                        let m = wimi_dsp::stats::median(&amps);
+                        !m.is_finite() || m == 0.0
+                    })
+                })
+            })
+            .count();
+        if rejected > 0 {
+            quality.subcarriers_rejected = rejected;
+            quality.issues.push(StageIssue::new(
+                Stage::SubcarrierSelection,
+                IssueKind::RejectedSubcarriers { count: rejected },
+            ));
+        }
+    }
+
+    Ok(Screened {
+        baseline: base,
+        target: tar,
+        survivors,
+    })
 }
 
 #[cfg(test)]
@@ -419,6 +816,144 @@ mod tests {
             assert!(feat.omega.len() >= 4);
             assert_eq!(feat.omega.len() % 4, 0);
         }
+    }
+
+    /// Returns a copy of the capture with `antenna`'s rows zeroed in every
+    /// packet from `start` on — a dead RF chain.
+    fn kill_antenna(cap: &CsiCapture, antenna: usize, start: usize) -> CsiCapture {
+        cap.iter()
+            .enumerate()
+            .map(|(m, p)| {
+                let mut p = p.clone();
+                if m >= start {
+                    for k in 0..p.n_subcarriers() {
+                        *p.get_mut(antenna, k) = wimi_phy::complex::Complex::ZERO;
+                    }
+                }
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn measure_on_clean_captures_is_clean_and_matches_extract_feature() {
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let m = wimi.measure(&base, &tar);
+        assert!(m.quality.is_clean(), "issues: {:?}", m.quality.issues);
+        assert!(!m.quality.salvaged());
+        assert_eq!(m.quality.baseline_packets_kept, 40);
+        assert_eq!(m.quality.target_packets_kept, 40);
+        assert_eq!(m.quality.antennas_dropped, Vec::<usize>::new());
+        assert_eq!(m.quality.pairs_attempted, 3);
+        assert_eq!(m.feature, wimi.extract_feature(&base, &tar));
+    }
+
+    #[test]
+    fn dead_antenna_is_dropped_and_measurement_survives() {
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        let base = kill_antenna(&base, 2, 0);
+        let tar = kill_antenna(&tar, 2, 0);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let m = wimi.measure(&base, &tar);
+        assert_eq!(m.quality.antennas_dropped, vec![2]);
+        assert!(m.quality.salvaged());
+        let f = m.feature.expect("salvaged measurement should extract");
+        // The reported pair uses original antenna numbering; antenna 2 is
+        // dead, so the surviving pair must be (0, 1).
+        assert_eq!(f.pair, (0, 1));
+        // The salvaged feature matches a genuine two-antenna fixed-pair
+        // measurement on the surviving antennas.
+        let fixed = WiMi::new(WiMiConfig {
+            pairs: PairSelection::Fixed(0, 1),
+            ..WiMiConfig::default()
+        });
+        let two = fixed
+            .extract_feature(
+                &base.select_antennas(&[0, 1]),
+                &tar.select_antennas(&[0, 1]),
+            )
+            .expect("two-antenna extraction");
+        assert_eq!(f.omega, two.omega);
+    }
+
+    #[test]
+    fn partial_dropout_packets_are_dropped_not_fatal() {
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        // Antenna 1 dies for the last 8 packets of the target capture:
+        // 20 % zero rows, below the dead threshold, so the packets go
+        // instead of the antenna.
+        let tar = kill_antenna(&tar, 1, 32);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let m = wimi.measure(&base, &tar);
+        assert_eq!(m.quality.antennas_dropped, Vec::<usize>::new());
+        assert_eq!(m.quality.target_packets_kept, 32);
+        assert_eq!(m.quality.baseline_packets_kept, 40);
+        assert!(m
+            .quality
+            .issues
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::PartialDropout { dropped: 8 })));
+        assert!(m.feature.is_ok());
+    }
+
+    #[test]
+    fn fixed_pair_naming_dead_antenna_reports_antenna_failed() {
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        let base = kill_antenna(&base, 1, 0);
+        let tar = kill_antenna(&tar, 1, 0);
+        let cfg = WiMiConfig {
+            pairs: PairSelection::Fixed(0, 1),
+            ..WiMiConfig::default()
+        };
+        let wimi = WiMi::new(cfg);
+        let m = wimi.measure(&base, &tar);
+        assert_eq!(m.feature, Err(FeatureError::AntennaFailed { antenna: 1 }));
+        assert!(m
+            .quality
+            .issues
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::DeadAntenna { antenna: 1 })));
+    }
+
+    #[test]
+    fn non_finite_packets_are_dropped_and_reported() {
+        let (base, mut tar_src) = capture_pair(Liquid::Milk, 1, 40);
+        let mut packets: Vec<_> = tar_src.iter().cloned().collect();
+        *packets[5].get_mut(0, 0) = wimi_phy::complex::Complex::new(f64::NAN, 0.0);
+        *packets[17].get_mut(2, 3) = wimi_phy::complex::Complex::new(0.0, f64::INFINITY);
+        tar_src = CsiCapture::from_packets(packets);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let m = wimi.measure(&base, &tar_src);
+        assert_eq!(m.quality.target_packets_kept, 38);
+        assert!(m
+            .quality
+            .issues
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::NonFinitePackets { dropped: 2 })));
+        assert!(m.feature.is_ok());
+    }
+
+    #[test]
+    fn too_few_survivors_is_insufficient_packets() {
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 10);
+        // Every target packet goes non-finite.
+        let packets: Vec<_> = tar
+            .iter()
+            .map(|p| {
+                let mut p = p.clone();
+                *p.get_mut(0, 0) = wimi_phy::complex::Complex::new(f64::NAN, 0.0);
+                p
+            })
+            .collect();
+        let tar = CsiCapture::from_packets(packets);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let m = wimi.measure(&base, &tar);
+        assert_eq!(
+            m.feature,
+            Err(FeatureError::InsufficientPackets { kept: 0, needed: 4 })
+        );
+        assert_eq!(m.quality.target_packets_kept, 0);
     }
 
     #[test]

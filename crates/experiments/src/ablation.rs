@@ -138,7 +138,7 @@ pub fn robustness_flowing_liquid() {
     let extractor = wimi_core::WiMi::new(WiMiConfig::default());
     for flow in [0.0, 0.4, 0.8] {
         let opts = RunOptions {
-            attempts: 1,
+            retry: crate::harness::RetryPolicy::attempts(1),
             modify: Box::new(move |b| {
                 b.flow_noise(flow);
             }),

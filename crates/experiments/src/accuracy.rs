@@ -335,7 +335,7 @@ pub fn fig20(effort: Effort) {
     let opts = RunOptions {
         n_train: 2,
         n_test: 4,
-        attempts: 1,
+        retry: crate::harness::RetryPolicy::attempts(1),
         modify: Box::new(|b| {
             b.beaker(Beaker::paper_default().with_material(ContainerMaterial::Metal));
         }),

@@ -7,6 +7,7 @@ use wimi_ml::dataset::Dataset;
 use wimi_ml::metrics::ConfusionMatrix;
 use wimi_phy::channel::Environment;
 use wimi_phy::csi::{CsiCapture, CsiSource};
+use wimi_phy::fault::FaultPlan;
 use wimi_phy::material::{Liquid, SaltwaterConcentration, LIQUIDS};
 use wimi_phy::scenario::{LiquidSpec, Scenario, ScenarioBuilder, Simulator};
 use wimi_phy::units::Meters;
@@ -43,6 +44,52 @@ pub fn paper_liquids() -> Vec<Material> {
     LIQUIDS.iter().copied().map(Material::catalog).collect()
 }
 
+/// Bounded retry policy for the re-seat-and-retry measurement protocol.
+///
+/// Real measurement campaigns cannot retry forever: every attempt costs
+/// two captures' worth of air time. The policy caps attempts two ways —
+/// a hard attempt count and a total packet budget — and the effective
+/// attempt count is whichever bound is tighter (never below one).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Hard cap on measurement attempts per trial.
+    pub max_attempts: usize,
+    /// Total packets (baseline + target captures both count) one trial
+    /// may spend across all its attempts.
+    pub packet_budget: usize,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts under a 400-packet budget: identical to the old
+    /// hard-coded 4-attempt loop for the paper's 20-packet captures
+    /// (4 × 2 × 20 = 160 ≤ 400), but a 60-packet capture now stops after
+    /// three attempts instead of wasting a fourth.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            packet_budget: 400,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy bounded only by attempt count (no packet budget).
+    pub fn attempts(n: usize) -> Self {
+        RetryPolicy {
+            max_attempts: n,
+            packet_budget: usize::MAX,
+        }
+    }
+
+    /// Attempts allowed for a given capture length: the tighter of the
+    /// attempt cap and the packet budget, but always at least one.
+    pub fn allowed_attempts(&self, packets_per_capture: usize) -> usize {
+        let per_attempt = 2 * packets_per_capture.max(1);
+        let by_budget = self.packet_budget / per_attempt;
+        self.max_attempts.min(by_budget).max(1)
+    }
+}
+
 /// Options of one identification run.
 pub struct RunOptions {
     /// Deployment environment.
@@ -60,9 +107,14 @@ pub struct RunOptions {
     /// Extra scenario customisation applied after the defaults. `Send +
     /// Sync` so measurements can fan out across worker threads.
     pub modify: Box<dyn Fn(&mut ScenarioBuilder) + Send + Sync>,
-    /// Measurement attempts before giving up on a trial (the operator
+    /// Retry policy for the re-seat-and-retry protocol (the operator
     /// re-seats the beaker when the pipeline flags a bad measurement).
-    pub attempts: usize,
+    pub retry: RetryPolicy,
+    /// Fault plan injected into every capture (`None` = healthy
+    /// deployment). Each measurement derives an independent fault stream
+    /// from the plan's seed and its own, so runs stay deterministic and
+    /// thread-count invariant.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for RunOptions {
@@ -75,9 +127,22 @@ impl Default for RunOptions {
             seed: 0xACC0,
             config: WiMiConfig::default(),
             modify: Box::new(|_| {}),
-            attempts: 4,
+            retry: RetryPolicy::default(),
+            fault: None,
         }
     }
+}
+
+/// Per-measurement accounting from [`measure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasureStats {
+    /// Attempts the pipeline rejected before success (or giving up).
+    pub rejected: usize,
+    /// Whether the successful measurement needed salvage (dropped
+    /// packets or antennas).
+    pub salvaged: bool,
+    /// Packets spent across all attempts (baseline + target).
+    pub packets_spent: usize,
 }
 
 /// Result of an identification run.
@@ -88,6 +153,9 @@ pub struct RunResult {
     pub dropped_trials: usize,
     /// Total measurement attempts that were rejected by the pipeline.
     pub rejected_measurements: usize,
+    /// Successful measurements that needed salvage (dropped packets or
+    /// antennas) on the way.
+    pub salvaged_measurements: usize,
 }
 
 impl RunResult {
@@ -106,11 +174,30 @@ pub fn capture_pair(
     offset_cm: f64,
     modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
 ) -> (CsiCapture, CsiCapture) {
+    capture_pair_faulted(spec, environment, packets, seed, offset_cm, modify, None)
+}
+
+/// Like [`capture_pair`], with an optional fault plan applied to both
+/// captures. The plan is reseeded from its own seed XOR the capture seed,
+/// so each measurement draws an independent, reproducible fault stream.
+#[allow(clippy::too_many_arguments)]
+pub fn capture_pair_faulted(
+    spec: &LiquidSpec,
+    environment: Environment,
+    packets: usize,
+    seed: u64,
+    offset_cm: f64,
+    modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
+    fault: Option<&FaultPlan>,
+) -> (CsiCapture, CsiCapture) {
     let mut builder = Scenario::builder();
     builder.environment(environment);
     builder.target_offset(Meters::from_cm(offset_cm));
     modify(&mut builder);
     let mut sim = Simulator::new(builder.build(), seed);
+    if let Some(plan) = fault {
+        sim.set_fault_plan(Some(plan.clone().with_seed(plan.seed() ^ seed)));
+    }
     let baseline = sim.capture(packets);
     sim.set_liquid(Some(spec.clone()));
     let target = sim.capture(packets);
@@ -132,25 +219,31 @@ pub fn measure(
     spec: &LiquidSpec,
     opts: &RunOptions,
     seed: u64,
-) -> (Option<MaterialFeature>, usize) {
+) -> (Option<MaterialFeature>, MeasureStats) {
     let mut placement = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
-    let mut rejected = 0;
-    for attempt in 0..opts.attempts {
+    let mut stats = MeasureStats::default();
+    for attempt in 0..opts.retry.allowed_attempts(opts.packets) {
         let offset_cm = 1.0 + placement.gen_range(-0.5..0.5);
-        let (base, tar) = capture_pair(
+        let (base, tar) = capture_pair_faulted(
             spec,
             opts.environment,
             opts.packets,
             seed.wrapping_mul(31).wrapping_add(attempt as u64 * 7919),
             offset_cm,
             opts.modify.as_ref(),
+            opts.fault.as_ref(),
         );
-        match extractor.extract_feature(&base, &tar) {
-            Ok(f) => return (Some(f), rejected),
-            Err(_) => rejected += 1,
+        stats.packets_spent += 2 * opts.packets;
+        let m = extractor.measure(&base, &tar);
+        match m.feature {
+            Ok(f) => {
+                stats.salvaged = m.quality.salvaged();
+                return (Some(f), stats);
+            }
+            Err(_) => stats.rejected += 1,
         }
     }
-    (None, rejected)
+    (None, stats)
 }
 
 /// Runs a full train/test identification experiment.
@@ -166,6 +259,7 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
 
     let mut dropped = 0usize;
     let mut rejected = 0usize;
+    let mut salvaged = 0usize;
 
     let jobs = |base: u64, trials: usize, stride: u64| -> Vec<(usize, u64)> {
         let mut v = Vec::with_capacity(trials * materials.len());
@@ -186,8 +280,9 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
         )
     });
     let mut train = Dataset::new(class_names.clone());
-    for (label, (feat, rej)) in measured {
-        rejected += rej;
+    for (label, (feat, stats)) in measured {
+        rejected += stats.rejected;
+        salvaged += stats.salvaged as usize;
         match feat {
             Some(f) => train.push(f.as_vector(), label),
             None => dropped += 1,
@@ -207,8 +302,9 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
     });
     let mut truth = Vec::new();
     let mut pred = Vec::new();
-    for (label, (feat, rej)) in measured {
-        rejected += rej;
+    for (label, (feat, stats)) in measured {
+        rejected += stats.rejected;
+        salvaged += stats.salvaged as usize;
         match feat {
             Some(f) => {
                 let p = wimi.classify_feature(&f).expect("trained");
@@ -223,6 +319,7 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
         confusion: ConfusionMatrix::from_predictions(&truth, &pred, &class_names),
         dropped_trials: dropped,
         rejected_measurements: rejected,
+        salvaged_measurements: salvaged,
     }
 }
 

@@ -15,6 +15,7 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod degradation;
 pub mod features;
 pub mod harness;
 pub mod microbench;
@@ -46,6 +47,7 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
         "ablation-wavelet" => ablation::ablation_wavelet_family(effort),
         "ablation-classifier" => ablation::ablation_classifier(effort),
         "flow" => ablation::robustness_flowing_liquid(),
+        "degradation" => degradation::degradation(effort),
         "environments" => ablation::environments(effort),
         _ => return false,
     }
@@ -53,7 +55,7 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
 }
 
 /// Every experiment name, in report order.
-pub const ALL_EXPERIMENTS: [&str; 22] = [
+pub const ALL_EXPERIMENTS: [&str; 23] = [
     "fig2",
     "fig3",
     "fig6",
@@ -76,6 +78,7 @@ pub const ALL_EXPERIMENTS: [&str; 22] = [
     "ablation-wavelet",
     "ablation-classifier",
     "flow",
+    "degradation",
 ];
 
 #[cfg(test)]

@@ -107,6 +107,38 @@ impl CsiPacket {
         self.antenna_row(antenna).iter().map(|h| h.arg()).collect()
     }
 
+    /// `true` when every channel estimate has finite real and imaginary
+    /// parts.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|h| h.is_finite())
+    }
+
+    /// `true` when one antenna's row is identically zero — the signature
+    /// of a dead RF chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `antenna` is out of bounds.
+    pub fn antenna_is_zero(&self, antenna: usize) -> bool {
+        self.antenna_row(antenna)
+            .iter()
+            .all(|h| *h == Complex::ZERO)
+    }
+
+    /// A copy holding only the antennas in `keep`, in the given order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or names an out-of-bounds antenna.
+    pub fn select_antennas(&self, keep: &[usize]) -> CsiPacket {
+        assert!(!keep.is_empty(), "must keep at least one antenna");
+        let mut data = Vec::with_capacity(keep.len() * self.n_subcarriers);
+        for &a in keep {
+            data.extend_from_slice(self.antenna_row(a));
+        }
+        CsiPacket::new(keep.len(), self.n_subcarriers, data)
+    }
+
     /// Cross-antenna conjugate product `H_a · H_b*` per subcarrier — its
     /// argument is the phase difference that cancels NIC-common offsets
     /// (paper Eq. 6).
@@ -230,6 +262,23 @@ impl CsiCapture {
             .iter()
             .map(|p| (p.get(a, subcarrier) * p.get(b, subcarrier).conj()).arg())
             .collect()
+    }
+
+    /// A copy holding only the antennas in `keep`, in the given order
+    /// (empty captures pass through unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is empty or names an out-of-bounds antenna while
+    /// the capture is non-empty.
+    pub fn select_antennas(&self, keep: &[usize]) -> CsiCapture {
+        CsiCapture {
+            packets: self
+                .packets
+                .iter()
+                .map(|p| p.select_antennas(keep))
+                .collect(),
+        }
     }
 
     /// Amplitude-ratio time series `|H_a|/|H_b|` on one subcarrier.

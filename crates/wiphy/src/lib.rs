@@ -34,6 +34,7 @@ pub mod channel;
 pub mod complex;
 pub mod constants;
 pub mod csi;
+pub mod fault;
 pub mod geometry;
 pub mod hardware;
 pub mod material;
@@ -43,4 +44,5 @@ pub mod units;
 
 pub use complex::Complex;
 pub use csi::{CsiCapture, CsiPacket, CsiSource};
+pub use fault::FaultPlan;
 pub use scenario::{Beaker, LiquidSpec, Scenario, Simulator};

@@ -11,6 +11,7 @@
 use crate::channel::{Environment, MultipathChannel, StandardNormal};
 use crate::complex::Complex;
 use crate::csi::{CsiCapture, CsiPacket, CsiSource};
+use crate::fault::FaultPlan;
 use crate::geometry::{diffraction_severity, traverse_beaker, AntennaArray, Cylinder, Point, Ray};
 use crate::hardware::HardwareProfile;
 use crate::material::{
@@ -400,6 +401,14 @@ pub struct Simulator {
     /// Ray-perturbation spread (amplitude σ, phase σ), hoisted from the
     /// per-packet draw; `None` when the scenario is perturbation-free.
     perturb_sigmas: Option<(f64, f64)>,
+    /// Optional fault-injection plan applied to every capture. Faults draw
+    /// from their own RNG stream (seeded by the plan and a per-capture
+    /// nonce), so setting or clearing a plan never perturbs the base
+    /// channel realisation.
+    fault: Option<FaultPlan>,
+    /// Monotonic capture counter, used as the fault-plan nonce so each
+    /// capture under one plan sees an independent, reproducible stream.
+    captures_taken: u64,
 }
 
 /// Static multipath path gains for every (antenna, subcarrier) of a
@@ -469,6 +478,8 @@ impl Simulator {
             insertions_cache: None,
             mp_gains,
             perturb_sigmas,
+            fault: None,
+            captures_taken: 0,
         }
     }
 
@@ -516,6 +527,19 @@ impl Simulator {
     /// The current liquid, if any.
     pub fn liquid(&self) -> Option<&LiquidSpec> {
         self.liquid.as_ref()
+    }
+
+    /// Sets (or clears) the fault-injection plan applied to subsequent
+    /// captures. An identity plan (or `None`) leaves captures bit-identical
+    /// to the un-faulted simulator; faults never consume the base RNG
+    /// stream, so toggling a plan does not shift the channel realisation.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The fault plan currently in force, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Ground-truth liquid chord length for each receive antenna's LoS ray
@@ -642,7 +666,13 @@ impl CsiSource for Simulator {
         for _ in 0..n_packets {
             packets.push(self.packet());
         }
-        CsiCapture::from_packets(packets)
+        let clean = CsiCapture::from_packets(packets);
+        let nonce = self.captures_taken;
+        self.captures_taken = self.captures_taken.wrapping_add(1);
+        match &self.fault {
+            Some(plan) if !plan.is_identity() => plan.apply(&clean, nonce),
+            _ => clean,
+        }
     }
 }
 

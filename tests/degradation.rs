@@ -1,0 +1,52 @@
+//! End-to-end graceful-degradation test: the full ten-liquid
+//! identification under increasing packet loss. Accuracy may fall as the
+//! channel gets worse, but it must fall *gracefully* — monotonically
+//! non-increasing (within noise) and still far better than chance at 40%
+//! loss, with no cliff where the pipeline collapses or panics.
+
+use wimi::phy::fault::FaultPlan;
+use wimi_experiments::harness::{paper_liquids, run_identification, RunOptions};
+
+fn accuracy_at(packet_loss: f64) -> f64 {
+    let fault = if packet_loss > 0.0 {
+        Some(FaultPlan::new(0xDE64).with_packet_loss(packet_loss))
+    } else {
+        None
+    };
+    let opts = RunOptions {
+        n_train: 6,
+        n_test: 5,
+        fault,
+        ..RunOptions::default()
+    };
+    run_identification(&paper_liquids(), &opts).accuracy()
+}
+
+#[test]
+fn ten_liquid_accuracy_degrades_gracefully_under_packet_loss() {
+    let levels = [0.0, 0.2, 0.4];
+    let accs: Vec<f64> = levels.iter().map(|&p| accuracy_at(p)).collect();
+
+    // Healthy channel reproduces the paper's headline regime.
+    assert!(accs[0] > 0.85, "clean accuracy only {:.3}", accs[0]);
+
+    // Monotone non-increasing within a small sampling-noise allowance
+    // (the retry protocol can occasionally rescue a trial loss would
+    // otherwise have cost).
+    for w in accs.windows(2) {
+        assert!(
+            w[1] <= w[0] + 0.05,
+            "accuracy rose under heavier loss: {:.3} -> {:.3} (all: {accs:?})",
+            w[0],
+            w[1]
+        );
+    }
+
+    // At 40% loss the pipeline must still beat 10-class chance by a wide
+    // margin — degradation, not collapse.
+    assert!(
+        accs[2] >= 0.1,
+        "40% loss collapsed below chance: {:.3}",
+        accs[2]
+    );
+}

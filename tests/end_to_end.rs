@@ -7,6 +7,7 @@ use wimi::phy::csi::CsiSource;
 use wimi::phy::material::{ContainerMaterial, Liquid};
 use wimi::phy::scenario::{Beaker, LiquidSpec, Scenario, Simulator};
 use wimi::phy::units::Meters;
+use wimi_experiments::harness::RetryPolicy;
 
 fn measure(
     extractor: &WiMi,
@@ -15,7 +16,9 @@ fn measure(
     rng: &mut rand::rngs::StdRng,
     modify: impl Fn(&mut wimi::phy::scenario::ScenarioBuilder),
 ) -> Option<MaterialFeature> {
-    for attempt in 0..4u64 {
+    // Bounded by the shared retry policy (its default packet budget allows
+    // the same four attempts the old hard-coded loop made at 20 packets).
+    for attempt in 0..RetryPolicy::default().allowed_attempts(20) as u64 {
         let mut builder = Scenario::builder();
         builder.target_offset(Meters::from_cm(1.0 + rng.gen_range(-0.5..0.5)));
         modify(&mut builder);

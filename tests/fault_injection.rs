@@ -1,0 +1,109 @@
+//! Property tests over the fault-injection layer: every injector must be
+//! an identity at zero probability, a pure function of (plan seed, capture
+//! nonce) at any probability, and must never manufacture non-finite CSI.
+
+use proptest::prelude::*;
+use wimi::phy::csi::{CsiCapture, CsiSource};
+use wimi::phy::fault::FaultPlan;
+use wimi::phy::scenario::{Scenario, Simulator};
+
+fn capture(seed: u64, packets: usize) -> CsiCapture {
+    let mut sim = Simulator::new(Scenario::builder().build(), seed);
+    sim.capture(packets)
+}
+
+/// One plan per injector, each with only that fault enabled at `p`.
+fn single_injector_plans(seed: u64, p: f64) -> [FaultPlan; 6] {
+    [
+        FaultPlan::new(seed).with_packet_loss(p),
+        FaultPlan::new(seed).with_antenna_dropout(p),
+        FaultPlan::new(seed).with_agc_jump(p, 6.0),
+        FaultPlan::new(seed).with_saturation(p, 0.35),
+        FaultPlan::new(seed).with_interference(p),
+        FaultPlan::new(seed).with_stale(p),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn zero_probability_injectors_are_identity(seed in 0u64..200, packets in 1usize..8) {
+        let cap = capture(seed, packets);
+        for plan in single_injector_plans(seed, 0.0) {
+            prop_assert!(plan.is_identity());
+            prop_assert_eq!(plan.apply(&cap, 0), cap.clone());
+        }
+    }
+
+    #[test]
+    fn zero_intensity_scaling_is_identity(seed in 0u64..200, intensity in 0.0f64..1.0) {
+        // scaled(0) zeroes every probability no matter how hostile the
+        // original plan, and any scale of an identity stays an identity.
+        let cap = capture(seed, 5);
+        let zeroed = FaultPlan::hostile(seed).scaled(0.0);
+        prop_assert!(zeroed.is_identity());
+        prop_assert_eq!(zeroed.apply(&cap, 3), cap.clone());
+        prop_assert!(FaultPlan::new(seed).scaled(intensity).is_identity());
+    }
+
+    #[test]
+    fn every_injector_is_deterministic_and_finite(
+        seed in 0u64..100,
+        p in 0.01f64..1.0,
+        nonce in 0u64..16,
+    ) {
+        let cap = capture(seed, 6);
+        for plan in single_injector_plans(seed, p) {
+            let a = plan.apply(&cap, nonce);
+            let b = plan.apply(&cap, nonce);
+            prop_assert_eq!(&a, &b, "same seed and nonce must be bitwise equal");
+            for m in 0..a.len() {
+                prop_assert!(a.packet(m).is_finite(), "injector produced non-finite CSI");
+            }
+        }
+    }
+
+    #[test]
+    fn composed_hostile_plan_is_deterministic_and_finite(
+        seed in 0u64..100,
+        intensity in 0.0f64..1.0,
+        nonce in 0u64..16,
+    ) {
+        let cap = capture(seed, 6);
+        let plan = FaultPlan::hostile(seed ^ 0xF00D).scaled(intensity);
+        let a = plan.apply(&cap, nonce);
+        prop_assert_eq!(&a, &plan.apply(&cap, nonce));
+        for m in 0..a.len() {
+            prop_assert!(a.packet(m).is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_intensity_through_simulator_is_bitwise_identity(seed in 0u64..100) {
+        // The acceptance bar for the whole subsystem: a simulator carrying
+        // a zero-intensity plan is indistinguishable, bit for bit, from one
+        // carrying no plan at all.
+        let mut clean = Simulator::new(Scenario::builder().build(), seed);
+        let mut faulted = Simulator::new(Scenario::builder().build(), seed);
+        faulted.set_fault_plan(Some(FaultPlan::hostile(99).scaled(0.0)));
+        prop_assert_eq!(clean.capture(5), faulted.capture(5));
+        prop_assert_eq!(clean.capture(5), faulted.capture(5));
+    }
+
+    #[test]
+    fn faulted_simulators_reproduce_across_instances(seed in 0u64..100, p in 0.05f64..0.6) {
+        let plan = FaultPlan::new(seed).with_packet_loss(p).with_agc_jump(p, 6.0);
+        let mut a = Simulator::new(Scenario::builder().build(), seed);
+        let mut b = Simulator::new(Scenario::builder().build(), seed);
+        a.set_fault_plan(Some(plan.clone()));
+        b.set_fault_plan(Some(plan));
+        prop_assert_eq!(a.capture(8), b.capture(8));
+        prop_assert_eq!(a.capture(8), b.capture(8));
+    }
+
+    #[test]
+    fn packet_loss_never_grows_a_capture(seed in 0u64..100, p in 0.0f64..1.0) {
+        let cap = capture(seed, 8);
+        let lossy = FaultPlan::new(seed).with_packet_loss(p).apply(&cap, 0);
+        prop_assert!(lossy.len() <= cap.len());
+    }
+}

@@ -1,0 +1,122 @@
+//! Golden-value physics tests: the propagation constants `(α, β)` of every
+//! catalog liquid at the paper's 5.24 GHz carrier, pinned both against an
+//! independent in-test recomputation of the Debye closed form and against
+//! hard-coded golden numbers. The pins catch silent drift in the dielectric
+//! catalog or in the `α/β` derivation that the behavioural tests (which
+//! only check ordering and ranges) would let through.
+
+use wimi::phy::material::{
+    Dielectric, Liquid, PropagationConstants, SaltwaterConcentration, LIQUIDS,
+};
+use wimi::phy::units::Hertz;
+
+/// The paper's carrier (Intel 5300, channel 48 band).
+const F: Hertz = Hertz(5.24e9);
+
+/// Independent recomputation of `(α, β)` from raw Debye parameters, written
+/// out from the closed forms in the paper (Eq. 2–4) without reusing any
+/// library helper beyond the shared physical constants:
+///
+/// - `ε_r(ω) = ε_∞ + (ε_s − ε_∞)/(1 + (ωτ)²)`  (real part)
+/// - `ε_i(ω) = (ε_s − ε_∞)·ωτ/(1 + (ωτ)²) + σ/(ω·ε₀)`
+/// - `α = (ω/c)·√(ε_r/2)·√(√(1 + tan²δ) − 1)`, `tan δ = ε_i/ε_r`
+/// - `β = (ω/c)·√(ε_r/2)·√(√(1 + tan²δ) + 1)`
+fn debye_alpha_beta(eps_s: f64, eps_inf: f64, tau_ps: f64, sigma: f64) -> (f64, f64) {
+    const C: f64 = 299_792_458.0;
+    const EPS0: f64 = 8.854_187_812_8e-12;
+    let w = std::f64::consts::TAU * F.value();
+    let wt = w * tau_ps * 1e-12;
+    let denom = 1.0 + wt * wt;
+    let er = eps_inf + (eps_s - eps_inf) / denom;
+    let ei = (eps_s - eps_inf) * wt / denom + sigma / (w * EPS0);
+    let tan_d = ei / er;
+    let root = (1.0 + tan_d * tan_d).sqrt();
+    let scale = (w / C) * (er / 2.0).sqrt();
+    (scale * (root - 1.0).sqrt(), scale * (root + 1.0).sqrt())
+}
+
+fn assert_close(label: &str, what: &str, got: f64, want: f64, rel_tol: f64) {
+    let rel = (got - want).abs() / want.abs().max(1e-12);
+    assert!(
+        rel < rel_tol,
+        "{label} {what}: got {got:.6}, pinned {want:.6} (rel err {rel:.2e})"
+    );
+}
+
+/// Golden `(α [Np/m], β [rad/m])` for each catalog liquid at 5.24 GHz,
+/// computed from the catalog's Debye parameters via the closed form above.
+const LIQUID_GOLDEN: [(Liquid, f64, f64); 10] = [
+    (Liquid::Vinegar, 172.499718, 899.149381),
+    (Liquid::Honey, 76.584117, 339.586225),
+    (Liquid::Soy, 216.629093, 846.782956),
+    (Liquid::Milk, 183.412801, 854.591579),
+    (Liquid::Pepsi, 132.639818, 930.882666),
+    (Liquid::Liquor, 217.404330, 558.007803),
+    (Liquid::PureWater, 118.008885, 947.691539),
+    (Liquid::Oil, 2.709257, 174.563384),
+    (Liquid::Coke, 139.798692, 928.966813),
+    (Liquid::SweetWater, 147.107718, 904.396276),
+];
+
+/// Golden values for the Fig. 16 saltwater grades (g NaCl / 100 ml).
+const SALTWATER_GOLDEN: [(f64, f64, f64); 3] = [
+    (1.2, 155.191311, 941.657474),
+    (2.7, 201.896744, 936.188216),
+    (5.9, 300.925006, 932.068706),
+];
+
+#[test]
+fn liquid_constants_match_pinned_golden_values() {
+    for (liquid, alpha, beta) in LIQUID_GOLDEN {
+        let pc = liquid.propagation(F);
+        assert_close(liquid.name(), "alpha", pc.alpha, alpha, 1e-6);
+        assert_close(liquid.name(), "beta", pc.beta, beta, 1e-6);
+    }
+}
+
+#[test]
+fn liquid_constants_match_independent_debye_recomputation() {
+    for liquid in LIQUIDS {
+        let m = liquid.debye();
+        let (alpha, beta) = debye_alpha_beta(
+            m.eps_static,
+            m.eps_infinity,
+            m.relaxation.value() * 1e12,
+            m.conductivity,
+        );
+        let pc = liquid.propagation(F);
+        assert_close(liquid.name(), "alpha", pc.alpha, alpha, 1e-9);
+        assert_close(liquid.name(), "beta", pc.beta, beta, 1e-9);
+    }
+}
+
+#[test]
+fn saltwater_constants_match_pinned_golden_values() {
+    for (grams, alpha, beta) in SALTWATER_GOLDEN {
+        let c = SaltwaterConcentration::new(grams);
+        let pc = c.propagation(F);
+        let label = format!("saltwater {grams} g/100ml");
+        assert_close(&label, "alpha", pc.alpha, alpha, 1e-6);
+        assert_close(&label, "beta", pc.beta, beta, 1e-6);
+    }
+}
+
+#[test]
+fn air_beta_is_the_free_space_wavenumber() {
+    let air = PropagationConstants::air(F);
+    assert_close("air", "beta", air.beta, 109.851708, 1e-6);
+    assert!(air.alpha.abs() < 1e-9, "air alpha = {}", air.alpha);
+}
+
+#[test]
+fn golden_table_covers_the_whole_catalog() {
+    // If a liquid is ever added to (or removed from) the catalog, this
+    // forces the golden table to follow.
+    assert_eq!(LIQUID_GOLDEN.len(), LIQUIDS.len());
+    for liquid in LIQUIDS {
+        assert!(
+            LIQUID_GOLDEN.iter().any(|(l, _, _)| *l == liquid),
+            "{liquid} missing from the golden table"
+        );
+    }
+}
