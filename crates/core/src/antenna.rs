@@ -94,11 +94,7 @@ impl PairSelection {
         match self {
             PairSelection::Best => {
                 let mut scores = score_pairs(capture, amp_config);
-                scores.sort_by(|x, y| {
-                    x.combined()
-                        .partial_cmp(&y.combined())
-                        .expect("finite pair scores")
-                });
+                scores.sort_by(|x, y| x.combined().total_cmp(&y.combined()));
                 vec![scores[0].pair]
             }
             PairSelection::Fixed(a, b) => {

@@ -532,14 +532,16 @@ impl MaterialFeature {
             let shift = cand.gamma as f64 * std::f64::consts::TAU;
             mean(&p.delta_theta.iter().map(|d| d + shift).collect::<Vec<_>>()).abs()
         };
-        let (idx, cand) = resolved
-            .into_iter()
-            .max_by(|(ia, ca), (ib, cb)| {
-                denom_mag(ca, &per_pair[*ia])
-                    .partial_cmp(&denom_mag(cb, &per_pair[*ib]))
-                    .expect("finite phase")
-            })
-            .expect("non-empty");
+        let best = resolved.into_iter().max_by(|(ia, ca), (ib, cb)| {
+            denom_mag(ca, &per_pair[*ia]).total_cmp(&denom_mag(cb, &per_pair[*ib]))
+        });
+        // `resolved` passed the min_resolved gate above, so this branch is
+        // unreachable; degrade to the no-feature error rather than panic.
+        let Some((idx, cand)) = best else {
+            return Err(FeatureError::NoConsistentFeature {
+                best_dispersion: f64::INFINITY,
+            });
+        };
         if cand.dispersion > config.max_dispersion {
             return Err(FeatureError::NoConsistentFeature {
                 best_dispersion: cand.dispersion,
@@ -625,7 +627,9 @@ fn slope_unwrapped_estimate(
         num += (x - mx) * (y - my);
         den += (x - mx) * (x - mx);
     }
-    if den == 0.0 {
+    // A sum of squared deviations is non-negative; non-positive means the
+    // abscissa is constant and no slope exists.
+    if den <= 0.0 {
         return f64::NAN;
     }
     let slope_per_index = num / den;
@@ -712,10 +716,8 @@ fn enumerate_gamma_candidates(
         let mut valid = true;
         for dt in delta_theta {
             let denom = dt + gamma as f64 * tau;
-            if denom == 0.0 {
-                valid = false;
-                break;
-            }
+            // A zero denominator yields ±inf or NaN, which the finiteness
+            // gate below rejects — no explicit zero test needed.
             let omega = -ln_psi_band / denom;
             if !omega.is_finite() || !(sub_floor..=OMEGA_SUBCARRIER_MAX).contains(&omega) {
                 valid = false;

@@ -66,6 +66,8 @@
 //! assert!(total >= 2 && correct * 3 >= total * 2, "{correct}/{total}");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod amplitude;
 pub mod antenna;
 pub mod database;

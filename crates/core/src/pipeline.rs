@@ -509,7 +509,8 @@ fn scan_capture(cap: &CsiCapture, n_ant: usize) -> CapScan {
         finite.push(fin);
         let rows: Vec<bool> = (0..n_ant).map(|a| p.antenna_is_zero(a)).collect();
         if !saw_zero {
-            saw_zero = (0..n_ant).any(|a| p.antenna_row(a).iter().any(|h| h.norm_sqr() == 0.0));
+            // `norm_sqr` is non-negative, so `<= 0.0` is the zero test.
+            saw_zero = (0..n_ant).any(|a| p.antenna_row(a).iter().any(|h| h.norm_sqr() <= 0.0));
         }
         zero_rows.push(rows);
     }
@@ -570,7 +571,7 @@ fn screen<'a>(
         .filter(|&(_, f)| f > DEAD_ANTENNA_FRACTION)
         .collect();
     // Worst first; never drop below the two antennas a pair needs.
-    candidates.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite fraction"));
+    candidates.sort_by(|x, y| y.1.total_cmp(&x.1));
     candidates.truncate(n_ant.saturating_sub(2));
     let mut dropped_antennas: Vec<usize> = candidates.iter().map(|&(a, _)| a).collect();
     dropped_antennas.sort_unstable();
@@ -656,7 +657,8 @@ fn screen<'a>(
                     (0..cap.n_antennas()).any(|a| {
                         let amps = cap.amplitude_series(a, k);
                         let m = wimi_dsp::stats::median(&amps);
-                        !m.is_finite() || m == 0.0
+                        // Amplitude medians are non-negative.
+                        !m.is_finite() || m <= 0.0
                     })
                 })
             })

@@ -55,7 +55,7 @@ impl SubcarrierSelection {
                 let mut scored: Vec<(usize, f64)> = (0..n)
                     .map(|k| (k, baseline.variance[k] + target.variance[k]))
                     .collect();
-                scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite variance"));
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
                 let mut chosen: Vec<usize> = scored[..*p].iter().map(|&(k, _)| k).collect();
                 chosen.sort_unstable();
                 chosen
@@ -89,7 +89,7 @@ pub fn rank_subcarriers(
     let mut scored: Vec<(usize, f64)> = (0..baseline.len())
         .map(|k| (k, baseline.variance[k] + target.variance[k]))
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite variance"));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
     scored
 }
 

@@ -197,7 +197,9 @@ pub fn fig17(effort: Effort) {
     );
     let mut first = None;
     let mut last = None;
-    for dist_m in [1.0, 1.5, 2.0, 2.5, 3.0] {
+    let distances = [1.0, 1.5, 2.0, 2.5, 3.0];
+    let last_idx = distances.len() - 1;
+    for (di, dist_m) in distances.into_iter().enumerate() {
         let mut row = format!("  {dist_m:.1} m  :");
         for env in Environment::ALL {
             let opts = RunOptions {
@@ -212,10 +214,10 @@ pub fn fig17(effort: Effort) {
             let acc = run_identification(&materials, &opts).accuracy();
             row.push_str(&format!(" {:>8}", pct(acc)));
             if env == Environment::Lab {
-                if dist_m == 1.0 {
+                if di == 0 {
                     first = Some(acc);
                 }
-                if dist_m == 3.0 {
+                if di == last_idx {
                     last = Some(acc);
                 }
             }

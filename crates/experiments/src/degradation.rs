@@ -22,7 +22,8 @@ const FAULT_SEED: u64 = 0xFA17;
 /// Builds the fault plan for one sweep point (`None` at intensity 0, so
 /// the origin of the curve is exactly the un-faulted simulator).
 pub fn plan_at(intensity: f64) -> Option<FaultPlan> {
-    if intensity == 0.0 {
+    // Intensities are non-negative multipliers; the sweep origin is 0.
+    if intensity <= 0.0 {
         None
     } else {
         Some(FaultPlan::hostile(FAULT_SEED).scaled(intensity))

@@ -51,7 +51,7 @@ pub fn median(xs: &[f64]) -> f64 {
         return f64::NAN;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -175,7 +175,7 @@ pub fn trimmed_circular_mean(angles: &[f64], trim_fraction: f64) -> f64 {
         .iter()
         .map(|&a| (wrap_to_pi(a - first).abs(), a))
         .collect();
-    dev.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("finite deviation"));
+    dev.sort_by(|x, y| x.0.total_cmp(&y.0));
     let kept: Vec<f64> = dev[..angles.len() - n_drop]
         .iter()
         .map(|&(_, a)| a)

@@ -118,7 +118,9 @@ impl CorrelationDenoiser {
             }
             let corr: Vec<f64> = w.iter().zip(coarser).map(|(a, b)| a * b).collect();
             let pcorr: f64 = corr.iter().map(|c| c * c).sum();
-            if pcorr == 0.0 {
+            // A sum of squares is non-negative; non-positive means nothing
+            // correlates.
+            if pcorr <= 0.0 {
                 // Nothing correlates with the coarser scale: all noise.
                 w.iter_mut().for_each(|v| *v = 0.0);
                 break;
@@ -126,7 +128,7 @@ impl CorrelationDenoiser {
             let norm = (pw / pcorr).sqrt();
             let mut zeroed = 0usize;
             for m in 0..w.len() {
-                if w[m] != 0.0 && w[m].abs() >= (corr[m] * norm).abs() {
+                if w[m].abs() > 0.0 && w[m].abs() >= (corr[m] * norm).abs() {
                     w[m] = 0.0;
                     zeroed += 1;
                 }

@@ -14,7 +14,7 @@
 
 use crate::complex::Complex;
 use crate::geometry::Point;
-use crate::units::Hertz;
+use crate::units::{Hertz, Meters};
 use rand::Rng;
 use rand_distr_shim::StandardNormalShim;
 
@@ -321,10 +321,10 @@ impl MultipathChannel {
 
 /// Free-space LoS response (unit amplitude at the reference distance):
 /// `e^{−jβ₀·d}·(d_ref/d)` so amplitude is normalised to 1 at `d = d_ref`.
-pub fn los_response(tx: Point, rx: Point, f: Hertz, d_ref: f64) -> Complex {
+pub fn los_response(tx: Point, rx: Point, f: Hertz, d_ref: Meters) -> Complex {
     let d = tx.distance_to(rx).value();
     let beta0 = f.angular() / crate::constants::SPEED_OF_LIGHT;
-    Complex::cis(-beta0 * d) * (d_ref / d)
+    Complex::cis(-beta0 * d) * (d_ref.value() / d)
 }
 
 /// Internal shim: sample a standard normal via Box–Muller so we only depend
@@ -491,9 +491,9 @@ mod tests {
     #[test]
     fn los_normalisation() {
         let (tx, rx) = link();
-        let h = los_response(tx, rx, F, 2.0);
+        let h = los_response(tx, rx, F, Meters(2.0));
         assert!((h.abs() - 1.0).abs() < 1e-12);
-        let h_far = los_response(tx, Point::new(4.0, 0.0), F, 2.0);
+        let h_far = los_response(tx, Point::new(4.0, 0.0), F, Meters(2.0));
         assert!((h_far.abs() - 0.5).abs() < 1e-12);
     }
 

@@ -290,7 +290,8 @@ impl CsiCapture {
             .map(|p| {
                 let num = p.get(a, subcarrier).abs();
                 let den = p.get(b, subcarrier).abs();
-                if den == 0.0 {
+                // Magnitudes are non-negative, so `<= 0.0` is the zero test.
+                if den <= 0.0 {
                     f64::INFINITY
                 } else {
                     num / den

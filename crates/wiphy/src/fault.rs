@@ -214,12 +214,14 @@ impl FaultPlan {
     /// `true` when every injector's probability is zero, making
     /// [`FaultPlan::apply`] the identity.
     pub fn is_identity(&self) -> bool {
-        self.packet_loss == 0.0
-            && self.antenna_dropout == 0.0
-            && self.agc_jump == 0.0
-            && self.saturation == 0.0
-            && self.interference == 0.0
-            && self.stale == 0.0
+        // Probabilities are non-negative, so `<= 0.0` is exactly the
+        // identity test without comparing floats for equality.
+        self.packet_loss <= 0.0
+            && self.antenna_dropout <= 0.0
+            && self.agc_jump <= 0.0
+            && self.saturation <= 0.0
+            && self.interference <= 0.0
+            && self.stale <= 0.0
     }
 
     /// Applies the plan to a capture, returning the faulted copy.

@@ -179,7 +179,9 @@ pub fn quantize_intel5300(packet: &mut CsiPacket) {
             max_c = max_c.max(h.re.abs()).max(h.im.abs());
         }
     }
-    if max_c == 0.0 {
+    // `max_c` is a maximum of absolute values, so non-positive means the
+    // packet is all-zero and there is nothing to quantise.
+    if max_c <= 0.0 {
         return;
     }
     let scale = 127.0 / max_c;

@@ -30,6 +30,8 @@
 //! assert_eq!(baseline.n_subcarriers(), target.n_subcarriers());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod channel;
 pub mod complex;
 pub mod constants;

@@ -83,8 +83,10 @@ impl ChannelSpec {
 
     /// Occupied bandwidth between first and last reported subcarrier.
     pub fn occupied_bandwidth(&self) -> Hertz {
-        let lo = self.subcarrier_indices.iter().copied().min().unwrap();
-        let hi = self.subcarrier_indices.iter().copied().max().unwrap();
+        // The index table is non-empty for every supported format; an empty
+        // table degrades to zero bandwidth rather than panicking.
+        let lo = self.subcarrier_indices.iter().copied().min().unwrap_or(0);
+        let hi = self.subcarrier_indices.iter().copied().max().unwrap_or(0);
         Hertz((hi - lo) as f64 * SUBCARRIER_SPACING_HZ)
     }
 }

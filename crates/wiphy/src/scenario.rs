@@ -445,7 +445,7 @@ impl Simulator {
         let freqs: Vec<Hertz> = (0..n_sub)
             .map(|k| scenario.channel.subcarrier_freq(k))
             .collect();
-        let d_ref = scenario.link_distance.value();
+        let d_ref = scenario.link_distance;
         let los = rx
             .iter()
             .map(|&rx_pos| {
@@ -459,7 +459,8 @@ impl Simulator {
         let lambda = scenario.channel.center.wavelength();
         let severity = diffraction_severity(scenario.beaker.diameter, lambda);
         let flow = scenario.flow_noise;
-        let perturb_sigmas = if severity == 0.0 && flow == 0.0 {
+        // Severity and flow noise are non-negative by construction.
+        let perturb_sigmas = if severity <= 0.0 && flow <= 0.0 {
             None
         } else {
             Some((0.6 * severity + 0.3 * flow, 2.5 * severity + 1.2 * flow))
@@ -508,7 +509,7 @@ impl Simulator {
             .map(|k| self.scenario.channel.subcarrier_freq(k))
             .collect();
         let tx = self.scenario.tx_position();
-        let d_ref = self.scenario.link_distance.value();
+        let d_ref = self.scenario.link_distance;
         self.los = self
             .scenario
             .rx_array()
@@ -566,14 +567,12 @@ impl Simulator {
         let perturbs: Vec<Complex> = (0..n_ant).map(|_| self.draw_ray_perturbation()).collect();
 
         // Per-antenna target insertion across subcarriers: invariant until
-        // `set_liquid`, so it is computed once and cached.
-        if self.insertions_cache.is_none() {
-            self.insertions_cache = Some(self.compute_target_insertions());
-        }
+        // `set_liquid`, so it is computed once and cached (take/put-back
+        // keeps the hot path panic-free).
         let insertions = self
             .insertions_cache
-            .as_ref()
-            .expect("insertion cache populated above");
+            .take()
+            .unwrap_or_else(|| self.compute_target_insertions());
 
         let mut packet = CsiPacket::zeros(n_ant, n_sub);
         for a in 0..n_ant {
@@ -591,6 +590,7 @@ impl Simulator {
         }
 
         self.scenario.hardware.apply(&mut packet, &mut self.rng);
+        self.insertions_cache = Some(insertions);
         packet
     }
 
@@ -604,16 +604,10 @@ impl Simulator {
 
         // Metal blocks penetration entirely: −80 dB and no leakage floor
         // (reflection carries no through-target signature).
-        if self.scenario.beaker.material.dielectric().is_none() {
+        let Some(wall_diel) = self.scenario.beaker.material.dielectric() else {
             let blocked = Complex::from_re(1e-4);
             return vec![vec![blocked; n_sub]; self.rays.len()];
-        }
-        let wall_diel = self
-            .scenario
-            .beaker
-            .material
-            .dielectric()
-            .expect("non-metal container has a dielectric");
+        };
 
         let mut per_antenna: Vec<Vec<Complex>> = Vec::with_capacity(self.rays.len());
         for &ray in &self.rays {
@@ -680,7 +674,8 @@ impl CsiSource for Simulator {
 /// attenuation `e^{−(α − α_air)·D}` relative to the same path in air —
 /// exactly paper Eq. (2)–(4).
 fn insertion_factor(pc: PropagationConstants, air: PropagationConstants, d: Meters) -> Complex {
-    if d.value() == 0.0 {
+    // Path lengths are non-negative; zero means the ray misses the medium.
+    if d.value() <= 0.0 {
         return Complex::ONE;
     }
     let extra_phase = (pc.beta - air.beta) * d.value();

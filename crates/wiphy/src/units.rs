@@ -31,6 +31,20 @@ macro_rules! unit {
             pub fn is_finite(self) -> bool {
                 self.0.is_finite()
             }
+
+            /// Debug-checked constructor used by the arithmetic impls:
+            /// NaN/Inf contamination is caught where it is produced in
+            /// debug/test builds instead of surfacing as a downstream
+            /// `IssueKind`.
+            #[inline]
+            #[track_caller]
+            fn finite(v: f64) -> Self {
+                debug_assert!(
+                    v.is_finite(),
+                    concat!(stringify!($name), " arithmetic produced a non-finite value")
+                );
+                $name(v)
+            }
         }
 
         impl fmt::Display for $name {
@@ -43,7 +57,7 @@ macro_rules! unit {
             type Output = $name;
             #[inline]
             fn add(self, rhs: $name) -> $name {
-                $name(self.0 + rhs.0)
+                $name::finite(self.0 + rhs.0)
             }
         }
 
@@ -51,7 +65,7 @@ macro_rules! unit {
             type Output = $name;
             #[inline]
             fn sub(self, rhs: $name) -> $name {
-                $name(self.0 - rhs.0)
+                $name::finite(self.0 - rhs.0)
             }
         }
 
@@ -59,7 +73,7 @@ macro_rules! unit {
             type Output = $name;
             #[inline]
             fn neg(self) -> $name {
-                $name(-self.0)
+                $name::finite(-self.0)
             }
         }
 
@@ -67,7 +81,7 @@ macro_rules! unit {
             type Output = $name;
             #[inline]
             fn mul(self, rhs: f64) -> $name {
-                $name(self.0 * rhs)
+                $name::finite(self.0 * rhs)
             }
         }
 
@@ -75,7 +89,7 @@ macro_rules! unit {
             type Output = $name;
             #[inline]
             fn mul(self, rhs: $name) -> $name {
-                $name(self * rhs.0)
+                $name::finite(self * rhs.0)
             }
         }
 
@@ -83,7 +97,7 @@ macro_rules! unit {
             type Output = $name;
             #[inline]
             fn div(self, rhs: f64) -> $name {
-                $name(self.0 / rhs)
+                $name::finite(self.0 / rhs)
             }
         }
 

@@ -1,0 +1,73 @@
+//! CLI entry point: `cargo run -p wimi-lint [-- --json] [--root <dir>]`.
+//!
+//! Exit code is 0 when the workspace is clean (no unsuppressed
+//! violations), 1 otherwise, 2 on usage or I/O errors — so CI can gate on
+//! it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: wimi-lint [--json] [--root <workspace-dir>] [--list-rules]"
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in wimi_lint::Rule::ALL {
+            println!("{:<16} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Default root: the workspace that contains this crate when run via
+    // `cargo run -p wimi-lint`, else the current directory.
+    let root = root
+        .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../..")))
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let report = match wimi_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("wimi-lint: failed to walk {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,783 @@
+//! The lint rules and the per-file scanning engine.
+//!
+//! Every rule is named, documented and individually suppressable with an
+//! inline pragma on (or immediately above) the offending line:
+//!
+//! ```text
+//! // wlint: allow(<rule>) — <why this occurrence is sound>
+//! ```
+//!
+//! The justification is mandatory; a pragma without one is itself reported.
+
+use crate::lexer::{lex, Pragma, Tok, Token};
+
+/// The library crates whose non-test code must stay panic-free and
+/// wall-clock-free: errors flow through the `wimi_core::error` taxonomy and
+/// results must be bitwise reproducible under any thread count.
+pub const LIBRARY_CRATES: [&str; 4] = ["wiphy", "wdsp", "wml", "core"];
+
+/// Crates whose public `f64` parameters must use the `units.rs` newtypes
+/// when dimensionally named.
+pub const UNIT_SAFE_CRATES: [&str; 2] = ["wiphy", "core"];
+
+/// The one module allowed to spawn OS threads (the deterministic scoped
+/// fan-out all parallel code must route through).
+pub const THREAD_SPAWN_ALLOWED: &str = "crates/wml/src/par.rs";
+
+/// Parameter-name segments (split on `_`) that denote a physical dimension
+/// and therefore demand a `Meters`/`Hertz`/`Seconds` newtype over raw `f64`.
+const DIMENSIONAL_SEGMENTS: [&str; 24] = [
+    "freq",
+    "freqs",
+    "frequency",
+    "dist",
+    "distance",
+    "delay",
+    "delays",
+    "len",
+    "length",
+    "d",
+    "dur",
+    "duration",
+    "sec",
+    "secs",
+    "seconds",
+    "wavelength",
+    "spacing",
+    "radius",
+    "diameter",
+    "height",
+    "width",
+    "depth",
+    "offset",
+    "time",
+];
+
+/// Integer types a bare `as` cast can silently truncate a float into.
+const INT_TYPES: [&str; 12] = [
+    "i8", "u8", "i16", "u16", "i32", "u32", "i64", "u64", "i128", "u128", "isize", "usize",
+];
+
+/// Assert-family macros inside which exact float comparison is a contract
+/// check that fails loudly, not a silent logic fork — exempt from
+/// `float-eq`.
+const ASSERT_MACROS: [&str; 8] = [
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "prop_assert",
+    "prop_assert_eq",
+];
+
+/// Every rule the linter enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `SystemTime` / `Instant::now` in library crates: wall-clock reads
+    /// break bitwise reproducibility of the parallel fan-out.
+    WallClock,
+    /// `thread_rng` / `OsRng` / `from_entropy`: ambient entropy escapes the
+    /// seeded-RNG discipline.
+    AmbientRng,
+    /// `HashMap` / `HashSet` anywhere: iteration order is unspecified, so
+    /// any fold over one is a determinism hazard; use `BTreeMap`/`BTreeSet`
+    /// or a sorted `Vec`.
+    HashCollections,
+    /// `thread::spawn` outside `wml::par`: unscoped threads bypass the
+    /// `WIMI_THREADS`-bounded deterministic fan-out.
+    ThreadSpawn,
+    /// `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` in library non-test code: failures must flow
+    /// through the `Stage`/`IssueKind` error taxonomy.
+    Panic,
+    /// `==` / `!=` against a float literal outside assert macros: exact
+    /// float comparison forks logic on representation noise.
+    FloatEq,
+    /// Bare `as` integer cast in the CSI quantisation paths: lossy
+    /// truncation must go through a checked helper.
+    FloatCast,
+    /// A public `fn` in a unit-safe crate taking a dimensionally named raw
+    /// `f64` parameter instead of a `units.rs` newtype.
+    UnitNewtype,
+    /// A malformed `wlint:` pragma (bad syntax or missing justification).
+    BadPragma,
+}
+
+impl Rule {
+    /// The rule's stable name, used in pragmas and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::HashCollections => "hash-collections",
+            Rule::ThreadSpawn => "thread-spawn",
+            Rule::Panic => "panic",
+            Rule::FloatEq => "float-eq",
+            Rule::FloatCast => "float-cast",
+            Rule::UnitNewtype => "unit-newtype",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    /// All rules, for `--list-rules` style reporting.
+    pub const ALL: [Rule; 9] = [
+        Rule::WallClock,
+        Rule::AmbientRng,
+        Rule::HashCollections,
+        Rule::ThreadSpawn,
+        Rule::Panic,
+        Rule::FloatEq,
+        Rule::FloatCast,
+        Rule::UnitNewtype,
+        Rule::BadPragma,
+    ];
+
+    /// One-line description of the invariant the rule protects.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::WallClock => "no wall-clock reads (SystemTime/Instant::now) in library crates",
+            Rule::AmbientRng => {
+                "no ambient entropy (thread_rng/OsRng/from_entropy) in library crates"
+            }
+            Rule::HashCollections => "no HashMap/HashSet anywhere (unspecified iteration order)",
+            Rule::ThreadSpawn => "thread::spawn only inside wml::par",
+            Rule::Panic => "no unwrap/expect/panic!/unreachable! in library non-test code",
+            Rule::FloatEq => "no ==/!= against float literals outside assert macros",
+            Rule::FloatCast => "no bare `as` integer casts in CSI quantisation paths",
+            Rule::UnitNewtype => "dimensional public fn params must use unit newtypes, not f64",
+            Rule::BadPragma => "wlint pragmas must name a rule and give a justification",
+        }
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// One suppressed (pragma-allowed) occurrence, recorded for the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule that would have fired.
+    pub rule: Rule,
+    /// Workspace-relative path of the file.
+    pub file: String,
+    /// 1-based line of the suppressed occurrence.
+    pub line: u32,
+    /// The justification written in the pragma.
+    pub reason: String,
+    /// What the violation would have said.
+    pub message: String,
+}
+
+/// Result of linting one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed violations.
+    pub violations: Vec<Violation>,
+    /// Pragma-suppressed occurrences.
+    pub suppressed: Vec<Suppression>,
+}
+
+/// Derives the crate short name from a workspace-relative path
+/// (`crates/wiphy/src/csi.rs` → `wiphy`; the facade `src/lib.rs` → `wimi`).
+fn crate_of(rel_path: &str) -> &str {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    if parts.len() >= 2 && parts[0] == "crates" {
+        parts[1]
+    } else {
+        "wimi"
+    }
+}
+
+/// Inclusive line ranges covered by `#[test]` / `#[cfg(test)]` items.
+fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].kind != Tok::Punct("#") || tokens[i + 1].kind != Tok::Punct("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let attr_start_line = tokens[i].line;
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        let mut attr_end = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                Tok::Punct("[") => depth += 1,
+                Tok::Punct("]") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = Some(j);
+                        break;
+                    }
+                }
+                Tok::Ident(s) => attr_idents.push(s.as_str()),
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(attr_end) = attr_end else { break };
+        let is_test_attr = match attr_idents.first() {
+            Some(&"test") => true,
+            Some(&"cfg") => attr_idents.contains(&"test") && !attr_idents.contains(&"not"),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Find the item body: the first `{` before a top-level `;`.
+        let mut k = attr_end + 1;
+        let mut body_open = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                Tok::Punct("{") => {
+                    body_open = Some(k);
+                    break;
+                }
+                Tok::Punct(";") => break,
+                _ => k += 1,
+            }
+        }
+        let Some(open) = body_open else {
+            i = attr_end + 1;
+            continue;
+        };
+        let mut brace = 0usize;
+        let mut close = open;
+        for (n, t) in tokens.iter().enumerate().skip(open) {
+            match t.kind {
+                Tok::Punct("{") => brace += 1,
+                Tok::Punct("}") => {
+                    brace -= 1;
+                    if brace == 0 {
+                        close = n;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        regions.push((attr_start_line, tokens[close].line));
+        i = close + 1;
+    }
+    regions
+}
+
+/// Token-index spans lying inside assert-family macro invocations.
+fn assert_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        let is_assert =
+            matches!(&tokens[i].kind, Tok::Ident(s) if ASSERT_MACROS.contains(&s.as_str()));
+        if is_assert && tokens[i + 1].kind == Tok::Punct("!") {
+            let open = &tokens[i + 2].kind;
+            let (o, c) = match open {
+                Tok::Punct("(") => ("(", ")"),
+                Tok::Punct("[") => ("[", "]"),
+                Tok::Punct("{") => ("{", "}"),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < tokens.len() {
+                if tokens[j].kind == Tok::Punct(o) {
+                    depth += 1;
+                } else if tokens[j].kind == Tok::Punct(c) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            spans.push((i, j));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Lints one file's source. `rel_path` must be workspace-relative with
+/// forward slashes (it drives crate/file scoping).
+pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
+    let lexed = lex(source);
+    let tokens = &lexed.tokens;
+    let krate = crate_of(rel_path);
+    let is_lib = LIBRARY_CRATES.contains(&krate);
+    let is_unit_safe = UNIT_SAFE_CRATES.contains(&krate);
+    let file_name = rel_path.rsplit('/').next().unwrap_or(rel_path);
+    let is_quant_path = file_name == "csi.rs" || file_name == "hardware.rs";
+
+    let regions = test_regions(tokens);
+    let in_test = |line: u32| regions.iter().any(|&(a, b)| line >= a && line <= b);
+    let asserts = assert_spans(tokens);
+    let in_assert = |idx: usize| asserts.iter().any(|&(a, b)| idx >= a && idx <= b);
+
+    let mut found: Vec<Violation> = Vec::new();
+    let mut push = |rule: Rule, line: u32, message: String| {
+        found.push(Violation {
+            rule,
+            file: rel_path.to_string(),
+            line,
+            message,
+        });
+    };
+
+    for (line, msg) in &lexed.bad_pragmas {
+        push(Rule::BadPragma, *line, msg.clone());
+    }
+
+    for idx in 0..tokens.len() {
+        let t = &tokens[idx];
+        let line = t.line;
+        let next = tokens.get(idx + 1);
+        let next2 = tokens.get(idx + 2);
+        match &t.kind {
+            Tok::Ident(s) => {
+                let s = s.as_str();
+                // Determinism: wall clock and ambient entropy in library
+                // crates (test code included — timed or entropy-seeded
+                // tests are exactly the flaky kind CI's determinism job
+                // exists to prevent).
+                if is_lib {
+                    if s == "SystemTime" {
+                        push(
+                            Rule::WallClock,
+                            line,
+                            "`SystemTime` read in a library crate".to_string(),
+                        );
+                    }
+                    if s == "Instant"
+                        && matches!(next.map(|t| &t.kind), Some(Tok::Punct("::")))
+                        && matches!(next2.map(|t| &t.kind), Some(Tok::Ident(n)) if n == "now")
+                    {
+                        push(
+                            Rule::WallClock,
+                            line,
+                            "`Instant::now()` in a library crate".to_string(),
+                        );
+                    }
+                    if s == "thread_rng" || s == "OsRng" || s == "from_entropy" {
+                        push(
+                            Rule::AmbientRng,
+                            line,
+                            format!("ambient entropy source `{s}` in a library crate"),
+                        );
+                    }
+                }
+                // Determinism: hashed collections everywhere.
+                if s == "HashMap" || s == "HashSet" {
+                    push(
+                        Rule::HashCollections,
+                        line,
+                        format!("`{s}` has unspecified iteration order; use BTreeMap/BTreeSet or a sorted Vec"),
+                    );
+                }
+                // Determinism: thread::spawn outside wml::par.
+                if s == "thread"
+                    && matches!(next.map(|t| &t.kind), Some(Tok::Punct("::")))
+                    && matches!(next2.map(|t| &t.kind), Some(Tok::Ident(n)) if n == "spawn")
+                    && !rel_path.ends_with(THREAD_SPAWN_ALLOWED)
+                {
+                    push(
+                        Rule::ThreadSpawn,
+                        line,
+                        "`thread::spawn` outside `wml::par` bypasses the deterministic fan-out"
+                            .to_string(),
+                    );
+                }
+                // Panic-freedom in library non-test code.
+                if is_lib && !in_test(line) {
+                    let is_macro_bang = matches!(next.map(|t| &t.kind), Some(Tok::Punct("!")));
+                    if (s == "panic" || s == "unreachable" || s == "todo" || s == "unimplemented")
+                        && is_macro_bang
+                    {
+                        push(
+                            Rule::Panic,
+                            line,
+                            format!(
+                                "`{s}!` in library non-test code; return a taxonomy error instead"
+                            ),
+                        );
+                    }
+                }
+                // Lossy casts in quantisation paths.
+                if is_quant_path
+                    && !in_test(line)
+                    && s == "as"
+                    && matches!(next.map(|t| &t.kind), Some(Tok::Ident(ty)) if INT_TYPES.contains(&ty.as_str()))
+                {
+                    let ty = match next.map(|t| &t.kind) {
+                        Some(Tok::Ident(ty)) => ty.clone(),
+                        _ => String::new(),
+                    };
+                    push(
+                        Rule::FloatCast,
+                        line,
+                        format!("bare `as {ty}` cast in a quantisation path; use a checked helper"),
+                    );
+                }
+            }
+            Tok::Punct(".") => {
+                // `.unwrap()` / `.expect(` in library non-test code.
+                match next.map(|t| &t.kind) {
+                    Some(Tok::Ident(m))
+                        if (m == "unwrap" || m == "expect") && is_lib && !in_test(line) =>
+                    {
+                        push(
+                            Rule::Panic,
+                            line,
+                            format!(
+                                "`.{m}()` in library non-test code; return a taxonomy error instead"
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            Tok::Punct(op @ ("==" | "!=")) => {
+                if in_test(line) || in_assert(idx) {
+                    continue;
+                }
+                let prev_float =
+                    idx > 0 && matches!(tokens[idx - 1].kind, Tok::Num { is_float: true });
+                let next_float = match next.map(|t| &t.kind) {
+                    Some(Tok::Num { is_float }) => *is_float,
+                    Some(Tok::Punct("-")) => {
+                        matches!(next2.map(|t| &t.kind), Some(Tok::Num { is_float: true }))
+                    }
+                    _ => false,
+                };
+                if prev_float || next_float {
+                    push(
+                        Rule::FloatEq,
+                        line,
+                        format!("`{op}` against a float literal; compare with a tolerance or an ordering"),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if is_unit_safe {
+        scan_unit_newtype(rel_path, tokens, &in_test, &mut found);
+    }
+
+    apply_pragmas(rel_path, found, &lexed.pragmas)
+}
+
+/// Scans for `pub fn` signatures taking dimensionally named raw `f64`
+/// parameters.
+fn scan_unit_newtype(
+    rel_path: &str,
+    tokens: &[Token],
+    in_test: &dyn Fn(u32) -> bool,
+    found: &mut Vec<Violation>,
+) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !matches!(&tokens[i].kind, Tok::Ident(s) if s == "pub") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip a `pub(crate)` / `pub(super)` visibility qualifier.
+        if matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct("("))) {
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    Tok::Punct("(") => depth += 1,
+                    Tok::Punct(")") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Skip `const` / `async` / `unsafe` / `extern` qualifiers.
+        while matches!(
+            tokens.get(j).map(|t| &t.kind),
+            Some(Tok::Ident(s)) if matches!(s.as_str(), "const" | "async" | "unsafe" | "extern")
+        ) {
+            j += 1;
+        }
+        if !matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Ident(s)) if s == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(Tok::Ident(fn_name)) = tokens.get(j + 1).map(|t| &t.kind) else {
+            i = j + 1;
+            continue;
+        };
+        let fn_name = fn_name.clone();
+        let fn_line = tokens[j].line;
+        // Skip generics (angle depth; `->`/`=>` are fused so `>` inside
+        // them cannot miscount) to reach the parameter list.
+        let mut k = j + 2;
+        if matches!(tokens.get(k).map(|t| &t.kind), Some(Tok::Punct("<"))) {
+            let mut angle = 0isize;
+            while k < tokens.len() {
+                match tokens[k].kind {
+                    Tok::Punct("<") | Tok::Punct("<=") => angle += 1,
+                    Tok::Punct(">") | Tok::Punct(">=") => {
+                        angle -= 1;
+                        if angle == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if !matches!(tokens.get(k).map(|t| &t.kind), Some(Tok::Punct("("))) {
+            i = k;
+            continue;
+        }
+        // Walk the parameter list, splitting on top-level commas.
+        let mut depth = 0usize;
+        let mut param: Vec<&Token> = Vec::new();
+        let mut params: Vec<Vec<&Token>> = Vec::new();
+        while k < tokens.len() {
+            let t = &tokens[k];
+            match t.kind {
+                Tok::Punct("(") | Tok::Punct("[") | Tok::Punct("{") => {
+                    if depth > 0 {
+                        param.push(t);
+                    }
+                    depth += 1;
+                }
+                Tok::Punct(")") | Tok::Punct("]") | Tok::Punct("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    param.push(t);
+                }
+                Tok::Punct(",") if depth == 1 => {
+                    params.push(std::mem::take(&mut param));
+                }
+                _ => {
+                    if depth >= 1 {
+                        param.push(t);
+                    }
+                }
+            }
+            k += 1;
+        }
+        if !param.is_empty() {
+            params.push(param);
+        }
+        if !in_test(fn_line) {
+            for p in &params {
+                check_param(rel_path, &fn_name, p, found);
+            }
+        }
+        i = k + 1;
+    }
+}
+
+/// Flags a single `name: f64` parameter whose name is dimensional.
+fn check_param(rel_path: &str, fn_name: &str, param: &[&Token], found: &mut Vec<Violation>) {
+    // Find the top-level `:` separating pattern from type.
+    let colon = param.iter().position(|t| t.kind == Tok::Punct(":"));
+    let Some(colon) = colon else { return };
+    // The type must be exactly `f64`.
+    let ty: Vec<&&Token> = param[colon + 1..].iter().collect();
+    if ty.len() != 1 || !matches!(&ty[0].kind, Tok::Ident(s) if s == "f64") {
+        return;
+    }
+    // The binding name is the last identifier before the colon.
+    let Some(name_tok) = param[..colon]
+        .iter()
+        .rev()
+        .find(|t| matches!(t.kind, Tok::Ident(_)))
+    else {
+        return;
+    };
+    let Tok::Ident(name) = &name_tok.kind else {
+        return;
+    };
+    if name == "self" {
+        return;
+    }
+    let dimensional = name
+        .split('_')
+        .any(|seg| DIMENSIONAL_SEGMENTS.contains(&seg));
+    if dimensional {
+        found.push(Violation {
+            rule: Rule::UnitNewtype,
+            file: rel_path.to_string(),
+            line: name_tok.line,
+            message: format!(
+                "`pub fn {fn_name}` takes dimensional parameter `{name}: f64`; use a units.rs newtype (Meters/Hertz/Seconds)"
+            ),
+        });
+    }
+}
+
+/// Splits raw findings into suppressed and surviving sets using the file's
+/// pragmas. A standalone pragma covers the next code line(s) down to the
+/// first line it can bind to; a trailing pragma covers its own line.
+fn apply_pragmas(rel_path: &str, found: Vec<Violation>, pragmas: &[Pragma]) -> FileReport {
+    let mut report = FileReport::default();
+    for v in found {
+        let hit = pragmas.iter().find(|p| {
+            p.rule == v.rule.name()
+                && if p.standalone {
+                    // A standalone pragma suppresses occurrences on the
+                    // lines immediately following it (a small window lets
+                    // one pragma cover a wrapped statement).
+                    v.line > p.line && v.line <= p.line + 3
+                } else {
+                    v.line == p.line
+                }
+        });
+        match hit {
+            Some(p) => report.suppressed.push(Suppression {
+                rule: v.rule,
+                file: rel_path.to_string(),
+                line: v.line,
+                reason: p.reason.clone(),
+                message: v.message,
+            }),
+            None => report.violations.push(v),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: &str = "crates/wiphy/src/fake.rs";
+    const APP: &str = "crates/experiments/src/fake.rs";
+
+    #[test]
+    fn unwrap_flagged_in_lib_not_in_tests() {
+        let src = "
+fn f(v: Vec<u32>) -> u32 { v.first().unwrap() + 1 }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { let _ = \"x\".parse::<u32>().unwrap(); }
+}
+";
+        let r = lint_source(LIB, src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, Rule::Panic);
+        assert_eq!(r.violations[0].line, 2);
+        // Same code in a non-library crate is fine.
+        assert!(lint_source(APP, src).violations.is_empty());
+    }
+
+    #[test]
+    fn hash_collections_flagged_everywhere() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_source(APP, src).violations.len(), 1);
+        assert_eq!(lint_source(LIB, src).violations.len(), 1);
+    }
+
+    #[test]
+    fn pragma_suppresses_and_is_recorded() {
+        let src = "
+// wlint: allow(panic) — slice is non-empty by construction
+fn f(v: &[u32]) -> u32 { *v.first().unwrap() }
+";
+        let r = lint_source(LIB, src);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.suppressed.len(), 1);
+        assert!(r.suppressed[0].reason.contains("non-empty"));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_violation() {
+        let src = "
+// wlint: allow(panic)
+fn f(v: &[u32]) -> u32 { *v.first().unwrap() }
+";
+        let r = lint_source(LIB, src);
+        let rules: Vec<Rule> = r.violations.iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&Rule::BadPragma));
+        assert!(rules.contains(&Rule::Panic));
+    }
+
+    #[test]
+    fn float_eq_exempt_inside_asserts() {
+        let src = "
+fn f(x: f64) -> bool { x == 0.5 }
+fn g(x: f64) { assert!(x == 0.5, \"exact\"); }
+";
+        let r = lint_source(APP, src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].line, 2);
+    }
+
+    #[test]
+    fn unit_newtype_flags_dimensional_f64() {
+        let src = "pub fn los(freq_hz: f64, d_ref: f64, gain: f64) {}\n";
+        let r = lint_source(LIB, src);
+        assert_eq!(r.violations.len(), 2, "{:?}", r.violations);
+        assert!(r.violations.iter().all(|v| v.rule == Rule::UnitNewtype));
+        // Non-unit-safe crates are not scanned.
+        assert!(lint_source("crates/wml/src/fake.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_allowed_only_in_par() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(lint_source(APP, src).violations.len(), 1);
+        assert!(lint_source("crates/wml/src/par.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_rng_only_in_lib_crates() {
+        let src = "fn f() { let _ = std::time::Instant::now(); let _ = rand::thread_rng(); }\n";
+        let r = lint_source(LIB, src);
+        assert_eq!(r.violations.len(), 2);
+        assert!(lint_source(APP, src).violations.is_empty());
+    }
+
+    #[test]
+    fn float_cast_scoped_to_quantisation_files() {
+        let src = "fn q(x: f64) -> i8 { x as i8 }\n";
+        assert_eq!(
+            lint_source("crates/wiphy/src/csi.rs", src).violations.len(),
+            1
+        );
+        assert!(lint_source(LIB, src).violations.is_empty());
+    }
+}

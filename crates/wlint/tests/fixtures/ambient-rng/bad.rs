@@ -1,0 +1,4 @@
+fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

@@ -1,0 +1,6 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn noise(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

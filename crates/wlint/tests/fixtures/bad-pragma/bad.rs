@@ -1,0 +1,4 @@
+// wlint: allow(panic)
+fn a() {}
+// wlint: suppress(everything)
+fn b() {}

@@ -1,0 +1,6 @@
+// wlint: allow(hash-collections) — ordering is irrelevant for this scratch set
+use std::collections::HashSet as Scratch;
+
+fn a() -> Scratch<u32> {
+    Scratch::new()
+}

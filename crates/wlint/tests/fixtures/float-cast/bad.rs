@@ -1,0 +1,3 @@
+fn quantize(x: f64) -> i8 {
+    (x * 127.0).round() as i8
+}

@@ -1,0 +1,5 @@
+fn quantize(x: f64) -> i8 {
+    let clamped = (x * 127.0).round().clamp(-128.0, 127.0);
+    // wlint: allow(float-cast) — clamped to the i8 range one line above
+    clamped as i8
+}

@@ -1,0 +1,3 @@
+fn is_origin(x: f64, y: f64) -> bool {
+    x == 0.0 || y != 1.0
+}

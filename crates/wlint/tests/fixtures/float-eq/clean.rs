@@ -1,0 +1,4 @@
+fn is_origin(x: f64, y: f64) -> bool {
+    assert!(x == 0.0 || x > 0.0, "exact contract check is exempt");
+    x.abs() <= f64::EPSILON && (y - 1.0).abs() <= f64::EPSILON
+}

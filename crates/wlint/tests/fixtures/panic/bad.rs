@@ -1,0 +1,8 @@
+fn first(v: &[u32]) -> u32 {
+    if v.len() > 3 {
+        panic!("too many");
+    }
+    let head = *v.first().unwrap();
+    let tail = *v.last().expect("non-empty");
+    head + tail
+}

@@ -1,0 +1,14 @@
+fn first(v: &[u32]) -> Option<u32> {
+    // wlint: allow(panic) — slice verified non-empty one line above
+    let head = if v.is_empty() { 0 } else { *v.first().unwrap() };
+    v.last().map(|&t| head + t)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

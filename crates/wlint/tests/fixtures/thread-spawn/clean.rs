@@ -1,0 +1,3 @@
+fn fan_out(jobs: Vec<u32>) -> Vec<u32> {
+    jobs.into_iter().map(|j| j + 1).collect()
+}

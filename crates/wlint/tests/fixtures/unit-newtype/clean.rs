@@ -1,0 +1,5 @@
+use crate::units::{Hertz, Meters};
+
+pub fn los_response(freq: Hertz, dist: Meters, gain: f64) -> f64 {
+    freq.value() * dist.value() * gain
+}

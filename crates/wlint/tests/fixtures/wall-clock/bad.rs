@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+fn elapsed_wall() -> f64 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,3 @@
+fn deterministic_tick(counter: u64) -> u64 {
+    counter + 1
+}

@@ -1,0 +1,140 @@
+//! Fixture-driven rule coverage: every rule has a known-bad snippet that
+//! must fire and a clean (or pragma-suppressed) snippet that must pass.
+
+use wimi_lint::{lint_source, Rule};
+
+/// Reads `tests/fixtures/<rule>/<kind>.rs`.
+fn fixture(rule: &str, kind: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{}/{}.rs",
+        env!("CARGO_MANIFEST_DIR"),
+        rule,
+        kind
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// The virtual workspace path each rule's fixture is linted under (rules
+/// are scoped by crate and file name).
+fn virtual_path(rule: Rule) -> &'static str {
+    match rule {
+        Rule::FloatCast => "crates/wiphy/src/csi.rs",
+        _ => "crates/wiphy/src/fixture.rs",
+    }
+}
+
+fn check_rule(rule: Rule) {
+    let path = virtual_path(rule);
+
+    let bad = lint_source(path, &fixture(rule.name(), "bad"));
+    assert!(
+        bad.violations.iter().any(|v| v.rule == rule),
+        "{}/bad.rs must fire [{}]; got {:?}",
+        rule.name(),
+        rule.name(),
+        bad.violations
+    );
+
+    let clean = lint_source(path, &fixture(rule.name(), "clean"));
+    assert!(
+        clean.violations.is_empty(),
+        "{}/clean.rs must pass; got {:?}",
+        rule.name(),
+        clean.violations
+    );
+}
+
+#[test]
+fn wall_clock_fixture() {
+    check_rule(Rule::WallClock);
+}
+
+#[test]
+fn ambient_rng_fixture() {
+    check_rule(Rule::AmbientRng);
+}
+
+#[test]
+fn hash_collections_fixture() {
+    check_rule(Rule::HashCollections);
+}
+
+#[test]
+fn thread_spawn_fixture() {
+    check_rule(Rule::ThreadSpawn);
+}
+
+#[test]
+fn panic_fixture() {
+    check_rule(Rule::Panic);
+}
+
+#[test]
+fn float_eq_fixture() {
+    check_rule(Rule::FloatEq);
+}
+
+#[test]
+fn float_cast_fixture() {
+    check_rule(Rule::FloatCast);
+}
+
+#[test]
+fn unit_newtype_fixture() {
+    check_rule(Rule::UnitNewtype);
+}
+
+#[test]
+fn bad_pragma_fixture() {
+    check_rule(Rule::BadPragma);
+}
+
+#[test]
+fn pragma_suppressions_are_recorded_not_dropped() {
+    // The pragma'd clean fixtures must report their suppressions so the
+    // allow-list stays auditable.
+    for rule in [Rule::Panic, Rule::FloatCast, Rule::BadPragma] {
+        let clean = lint_source(virtual_path(rule), &fixture(rule.name(), "clean"));
+        assert!(
+            !clean.suppressed.is_empty(),
+            "{}/clean.rs should record a suppression",
+            rule.name()
+        );
+        for s in &clean.suppressed {
+            assert!(!s.reason.is_empty(), "suppression must carry a reason");
+        }
+    }
+}
+
+#[test]
+fn thread_spawn_is_allowed_inside_wml_par() {
+    let bad = fixture("thread-spawn", "bad");
+    let in_par = lint_source("crates/wml/src/par.rs", &bad);
+    assert!(
+        in_par.violations.is_empty(),
+        "wml::par is the sanctioned spawn site; got {:?}",
+        in_par.violations
+    );
+}
+
+#[test]
+fn panic_rule_is_scoped_to_library_crates() {
+    let bad = fixture("panic", "bad");
+    let in_app = lint_source("crates/experiments/src/fixture.rs", &bad);
+    assert!(
+        !in_app.violations.iter().any(|v| v.rule == Rule::Panic),
+        "experiments is not a library crate; got {:?}",
+        in_app.violations
+    );
+}
+
+#[test]
+fn float_cast_rule_is_scoped_to_quantisation_files() {
+    let bad = fixture("float-cast", "bad");
+    let elsewhere = lint_source("crates/wiphy/src/fixture.rs", &bad);
+    assert!(
+        elsewhere.violations.is_empty(),
+        "float-cast only applies to csi.rs/hardware.rs; got {:?}",
+        elsewhere.violations
+    );
+}

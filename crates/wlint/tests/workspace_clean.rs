@@ -1,0 +1,37 @@
+//! Self-check: the workspace the linter ships in must itself be clean.
+//!
+//! This is the test-suite twin of the CI `lint` job — `cargo test` alone
+//! catches a freshly introduced violation without needing the binary run.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wimi_lint::lint_workspace(&root).expect("workspace walk");
+    assert!(
+        report.files.len() > 40,
+        "walk looks truncated: only {} files",
+        report.files.len()
+    );
+    assert!(
+        report.is_clean(),
+        "unsuppressed lint violations:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn every_suppression_carries_a_justification() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = wimi_lint::lint_workspace(&root).expect("workspace walk");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} [{}] suppressed without a reason",
+            s.file,
+            s.line,
+            s.rule.name()
+        );
+    }
+}

@@ -185,11 +185,14 @@ impl Dataset {
 
     /// Builds the complement dataset pair for one fold: (train, test).
     pub fn fold_split(&self, test_indices: &[usize]) -> (Dataset, Dataset) {
-        let test_set: std::collections::HashSet<usize> = test_indices.iter().copied().collect();
+        // A sorted Vec keeps membership checks O(log n) without the
+        // unspecified iteration order of a hashed set.
+        let mut test_set: Vec<usize> = test_indices.to_vec();
+        test_set.sort_unstable();
         let mut train = Dataset::new(self.class_names.clone());
         let mut test = Dataset::new(self.class_names.clone());
         for i in 0..self.len() {
-            let target = if test_set.contains(&i) {
+            let target = if test_set.binary_search(&i).is_ok() {
                 &mut test
             } else {
                 &mut train

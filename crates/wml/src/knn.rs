@@ -55,7 +55,7 @@ impl KnnClassifier {
                 (d2, yi)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut votes = vec![0usize; self.train.n_classes()];
         let mut weight = vec![0.0f64; self.train.n_classes()];
@@ -67,9 +67,9 @@ impl KnnClassifier {
             .max_by(|&i, &j| {
                 votes[i]
                     .cmp(&votes[j])
-                    .then(weight[i].partial_cmp(&weight[j]).unwrap())
+                    .then(weight[i].total_cmp(&weight[j]))
             })
-            .expect("at least one class")
+            .unwrap_or(0)
     }
 
     /// Predicts a batch.

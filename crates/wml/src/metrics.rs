@@ -113,7 +113,8 @@ impl fmt::Display for ConfusionMatrix {
             write!(f, "{:>width$} |", self.class_names[t])?;
             for p in 0..k {
                 let r = self.rate(t, p);
-                if r == 0.0 {
+                // Rates are non-negative; non-positive cells print as dots.
+                if r <= 0.0 {
                     write!(f, " {:>width$}", ".")?;
                 } else {
                     write!(f, " {:>width$.2}", r)?;

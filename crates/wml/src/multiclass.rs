@@ -109,9 +109,9 @@ impl MulticlassSvm {
             .max_by(|&i, &j| {
                 votes[i]
                     .cmp(&votes[j])
-                    .then(margins[i].partial_cmp(&margins[j]).unwrap())
+                    .then(margins[i].total_cmp(&margins[j]))
             })
-            .expect("at least one class")
+            .unwrap_or(0)
     }
 
     /// Predicts a batch.

@@ -51,7 +51,9 @@ impl StandardScaler {
         }
         for s in stds.iter_mut() {
             *s = (*s / n).sqrt();
-            if *s == 0.0 {
+            // A standard deviation is non-negative; guard the degenerate
+            // constant-feature case without a float equality.
+            if *s <= 0.0 {
                 *s = 1.0;
             }
         }

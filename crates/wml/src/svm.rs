@@ -134,7 +134,9 @@ impl BinarySvm {
             let mut s = b;
             let row = &k[i * n..(i + 1) * n];
             for j in 0..n {
-                if alpha[j] != 0.0 {
+                // Multipliers satisfy 0 ≤ α ≤ C; `> 0.0` is the sparsity
+                // skip without a float equality.
+                if alpha[j] > 0.0 {
                     s += alpha[j] * ys[j] * row[j];
                 }
             }
