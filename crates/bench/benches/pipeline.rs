@@ -78,6 +78,26 @@ fn bench_batch_identification(c: &mut Criterion) {
                 std::env::remove_var("WIMI_THREADS");
             },
         );
+        // Same workload with an enabled recorder: the delta against the
+        // variant above is the observability overhead (budget: < 5%).
+        group.bench_with_input(
+            BenchmarkId::new("run_identification_3x4_recorded", threads),
+            &threads,
+            |b, &t| {
+                std::env::set_var("WIMI_THREADS", t.to_string());
+                b.iter(|| {
+                    let opts = RunOptions {
+                        n_train: 4,
+                        n_test: 2,
+                        packets: 10,
+                        recorder: Some(std::sync::Arc::new(wimi_obs::Recorder::enabled())),
+                        ..RunOptions::default()
+                    };
+                    black_box(run_identification(&materials, &opts).accuracy())
+                });
+                std::env::remove_var("WIMI_THREADS");
+            },
+        );
     }
     group.finish();
 }

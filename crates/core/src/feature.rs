@@ -114,6 +114,41 @@ impl MaterialFeature {
         subcarriers: &[usize],
         config: &FeatureConfig,
     ) -> Result<MaterialFeature, FeatureError> {
+        Self::extract_excluding(
+            phase_base,
+            phase_tar,
+            amp_base,
+            amp_tar,
+            subcarriers,
+            &[],
+            config,
+        )
+    }
+
+    /// Like [`MaterialFeature::extract`], but subcarriers in `rejected`
+    /// (triage-found unusable: zero amplitude on a surviving antenna) are
+    /// excluded from the *band-level* estimates — the band-median `ln ΔΨ`
+    /// and the frequency-slope phase-unwrap anchor. A zeroed subcarrier
+    /// reads a bogus constant phase (the argument of complex zero), which
+    /// would otherwise corrupt the unwrap chain running across the band.
+    ///
+    /// # Errors
+    ///
+    /// Same error contract as [`MaterialFeature::extract`].
+    ///
+    /// # Panics
+    ///
+    /// Same panic contract as [`MaterialFeature::extract`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn extract_excluding(
+        phase_base: &PhaseDifferenceProfile,
+        phase_tar: &PhaseDifferenceProfile,
+        amp_base: &AmplitudeRatioProfile,
+        amp_tar: &AmplitudeRatioProfile,
+        subcarriers: &[usize],
+        rejected: &[usize],
+        config: &FeatureConfig,
+    ) -> Result<MaterialFeature, FeatureError> {
         assert_eq!(
             phase_base.pair, phase_tar.pair,
             "phase profiles pair mismatch"
@@ -150,7 +185,7 @@ impl MaterialFeature {
             delta_psi.push(tar_ratio / base_ratio);
         }
         let ln_psi_band =
-            band_ln_psi(amp_base, amp_tar).ok_or(FeatureError::DegenerateAmplitude)?;
+            band_ln_psi(amp_base, amp_tar, rejected).ok_or(FeatureError::DegenerateAmplitude)?;
 
         // γ resolution for a single pair: a low-loss liquid cannot have
         // wrapped (γ = 0); a lossy one picks the γ whose unwrapped phase
@@ -176,7 +211,7 @@ impl MaterialFeature {
                 }
             }
         } else {
-            let slope_est = slope_unwrapped_estimate(phase_base, phase_tar);
+            let slope_est = slope_unwrapped_estimate(phase_base, phase_tar, rejected);
             let dt_mean = mean(&delta_theta);
             let candidates = enumerate_gamma_candidates(
                 &delta_theta,
@@ -317,13 +352,19 @@ impl MaterialFeature {
                 delta_theta.push(dt);
                 delta_psi.push(tr / br);
             }
-            let Some(ln_psi_band) = band_ln_psi(m.amp_base, m.amp_tar) else {
-                continue;
-            };
+            // A degenerate selected-subcarrier amplitude is already known
+            // here — skip before paying for the band median, and count
+            // the two skip reasons separately so diagnostics can tell a
+            // bad selection from a bad band.
             if degenerate {
+                diag.pairs_skipped_degenerate += 1;
                 continue;
             }
-            let unwrapped_est = slope_unwrapped_estimate(m.phase_base, m.phase_tar);
+            let Some(ln_psi_band) = band_ln_psi(m.amp_base, m.amp_tar, m.rejected) else {
+                diag.pairs_skipped_band_unusable += 1;
+                continue;
+            };
+            let unwrapped_est = slope_unwrapped_estimate(m.phase_base, m.phase_tar, m.rejected);
             per_pair.push(PairData {
                 pair: m.phase_base.pair,
                 subcarriers: m.subcarriers.to_vec(),
@@ -597,18 +638,22 @@ const UNWRAP_SCORE_GATE: f64 = 12.0;
 fn slope_unwrapped_estimate(
     phase_base: &PhaseDifferenceProfile,
     phase_tar: &PhaseDifferenceProfile,
+    rejected: &[usize],
 ) -> f64 {
     let n = phase_base.mean.len().min(phase_tar.mean.len());
-    if n < 4 {
+    let kept: Vec<usize> = (0..n).filter(|k| !rejected.contains(k)).collect();
+    if kept.len() < 4 {
         return f64::NAN;
     }
-    // Wrapped ΔΘ per subcarrier, then unwrap along the band (adjacent
-    // subcarriers differ by far less than π).
-    let mut series = Vec::with_capacity(n);
+    // Wrapped ΔΘ per kept subcarrier, then unwrap along the band
+    // (adjacent kept subcarriers differ by far less than π). A rejected
+    // (zeroed) subcarrier reads the argument of complex zero — a bogus
+    // constant — and would corrupt the whole chain if left in.
+    let mut series = Vec::with_capacity(kept.len());
     let mut prev = 0.0f64;
-    for k in 0..n {
+    for (i, &k) in kept.iter().enumerate() {
         let dt = wrap_to_pi(phase_tar.mean[k] - phase_base.mean[k]);
-        let un = if k == 0 {
+        let un = if i == 0 {
             dt
         } else {
             prev + wrap_to_pi(dt - prev)
@@ -617,8 +662,9 @@ fn slope_unwrapped_estimate(
         prev = un;
     }
     // Least-squares slope against subcarrier position (uniform index is a
-    // good proxy: the Intel 5300 map is nearly uniform).
-    let xs: Vec<f64> = (0..n).map(|k| k as f64).collect();
+    // good proxy: the Intel 5300 map is nearly uniform). The abscissa is
+    // the original index so exclusion gaps keep their true spacing.
+    let xs: Vec<f64> = kept.iter().map(|&k| k as f64).collect();
     let mx = mean(&xs);
     let my = mean(&series);
     let mut num = 0.0;
@@ -642,10 +688,16 @@ fn slope_unwrapped_estimate(
 
 /// Band-median `−ln ΔΨ` over every finite, positive subcarrier ratio.
 /// Returns `None` when fewer than half the subcarriers are usable.
-fn band_ln_psi(amp_base: &AmplitudeRatioProfile, amp_tar: &AmplitudeRatioProfile) -> Option<f64> {
+fn band_ln_psi(
+    amp_base: &AmplitudeRatioProfile,
+    amp_tar: &AmplitudeRatioProfile,
+    rejected: &[usize],
+) -> Option<f64> {
     let n = amp_base.mean.len().min(amp_tar.mean.len());
-    let lps: Vec<f64> = (0..n)
-        .filter_map(|k| {
+    let considered: Vec<usize> = (0..n).filter(|k| !rejected.contains(k)).collect();
+    let lps: Vec<f64> = considered
+        .iter()
+        .filter_map(|&k| {
             let b = amp_base.mean[k];
             let t = amp_tar.mean[k];
             if b.is_finite() && t.is_finite() && b > 0.0 && t > 0.0 {
@@ -655,7 +707,9 @@ fn band_ln_psi(amp_base: &AmplitudeRatioProfile, amp_tar: &AmplitudeRatioProfile
             }
         })
         .collect();
-    if lps.len() * 2 < n || lps.is_empty() {
+    // The half-band quorum is judged over the subcarriers triage kept:
+    // rejected ones carry no signal and must not dilute the vote.
+    if lps.len() * 2 < considered.len() || lps.is_empty() {
         None
     } else {
         Some(wimi_dsp::stats::median(&lps))
@@ -673,6 +727,12 @@ pub struct JointDiagnostics {
     pub pairs_usable: usize,
     /// Pairs for which a phase-wrap count was resolved.
     pub pairs_resolved: usize,
+    /// Pairs skipped because a *selected* subcarrier's amplitude was
+    /// degenerate (non-finite or non-positive).
+    pub pairs_skipped_degenerate: usize,
+    /// Pairs skipped because the whole-band amplitude median was
+    /// unusable (fewer than half the kept subcarriers finite/positive).
+    pub pairs_skipped_band_unusable: usize,
 }
 
 /// One antenna pair's measurement inputs for
@@ -689,6 +749,9 @@ pub struct PairMeasurement<'a> {
     pub amp_tar: &'a AmplitudeRatioProfile,
     /// Selected subcarriers.
     pub subcarriers: &'a [usize],
+    /// Subcarriers screening triage rejected (excluded from band-level
+    /// estimates; selection already avoids them).
+    pub rejected: &'a [usize],
 }
 
 #[derive(Debug, Clone)]

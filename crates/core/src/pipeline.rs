@@ -16,10 +16,12 @@ use crate::subcarrier::SubcarrierSelection;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::borrow::Cow;
+use std::sync::Arc;
 use wimi_ml::dataset::Dataset;
 use wimi_ml::multiclass::MulticlassSvm;
 use wimi_ml::scale::StandardScaler;
 use wimi_ml::svm::SvmParams;
+use wimi_obs::{CounterId, IssueId, Recorder, StageId};
 use wimi_phy::csi::CsiCapture;
 
 /// An antenna whose rows are all-zero in more than this fraction of a
@@ -145,6 +147,10 @@ pub struct WiMi {
     class_names: Vec<String>,
     scaler: Option<StandardScaler>,
     model: Option<MulticlassSvm>,
+    /// Optional observability sink; stage spans and counters flow here.
+    /// `None` (the default) costs one branch per measurement. Recording
+    /// never changes any pipeline output.
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl WiMi {
@@ -155,7 +161,20 @@ impl WiMi {
             class_names: Vec::new(),
             scaler: None,
             model: None,
+            recorder: None,
         }
+    }
+
+    /// Attaches (or detaches) an observability recorder. Measurements,
+    /// training, and classification then report stage spans, counters,
+    /// histograms, and quality issues; outputs stay bit-identical.
+    pub fn set_recorder(&mut self, recorder: Option<Arc<Recorder>>) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.recorder.as_ref()
     }
 
     /// The active configuration.
@@ -207,6 +226,14 @@ impl WiMi {
     /// a strict no-op: the extracted feature is bit-identical to what the
     /// pre-salvage pipeline produced.
     pub fn measure(&self, baseline: &CsiCapture, target: &CsiCapture) -> Measurement {
+        let m = self.measure_inner(baseline, target);
+        if let Some(rec) = &self.recorder {
+            record_measurement(rec, &m);
+        }
+        m
+    }
+
+    fn measure_inner(&self, baseline: &CsiCapture, target: &CsiCapture) -> Measurement {
         let mut quality = QualityReport {
             baseline_packets_total: baseline.len(),
             baseline_packets_kept: baseline.len(),
@@ -227,19 +254,23 @@ impl WiMi {
             return failed(quality, FeatureError::NeedTwoAntennas);
         }
 
-        let screened = match screen(baseline, target, &mut quality) {
-            Ok(s) => s,
-            Err(e) => return failed(quality, e),
+        let screened = {
+            let _span = self.recorder.as_ref().map(|r| r.span(StageId::Screening));
+            match screen(baseline, target, &mut quality) {
+                Ok(s) => s,
+                Err(e) => return failed(quality, e),
+            }
         };
         let base = screened.baseline.as_ref();
         let tar = screened.target.as_ref();
         let survivors = &screened.survivors;
+        let rejected = &screened.rejected_subcarriers;
 
         let feature = match &self.config.pairs {
             PairSelection::Fixed(a, b) => {
                 quality.pairs_attempted = 1;
                 let result = remap_fixed_pair(*a, *b, survivors)
-                    .and_then(|(ra, rb)| self.extract_for_pair(base, tar, ra, rb));
+                    .and_then(|(ra, rb)| self.extract_for_pair(base, tar, ra, rb, rejected));
                 quality.pairs_resolved = result.is_ok() as usize;
                 result
             }
@@ -251,14 +282,25 @@ impl WiMi {
                 // and would refuse; the single-pair path (built for
                 // two-antenna hardware) handles this.
                 quality.pairs_attempted = 1;
-                let result = self.extract_for_pair(base, tar, 0, 1);
+                let result = self.extract_for_pair(base, tar, 0, 1, rejected);
                 quality.pairs_resolved = result.is_ok() as usize;
                 result
             }
             PairSelection::Best => {
-                let (result, diag) = self.extract_joint(base, tar);
+                let (result, diag) = self.extract_joint(base, tar, rejected);
                 quality.pairs_attempted = diag.pairs_attempted;
                 quality.pairs_resolved = diag.pairs_resolved;
+                if let Some(rec) = &self.recorder {
+                    rec.add(CounterId::PairsUsable, diag.pairs_usable as u64);
+                    rec.add(
+                        CounterId::PairsSkippedDegenerate,
+                        diag.pairs_skipped_degenerate as u64,
+                    );
+                    rec.add(
+                        CounterId::PairsSkippedBandUnusable,
+                        diag.pairs_skipped_band_unusable as u64,
+                    );
+                }
                 if diag.pairs_resolved < diag.pairs_attempted {
                     quality.issues.push(StageIssue::new(
                         Stage::GammaResolution,
@@ -276,8 +318,9 @@ impl WiMi {
                 // as the serial loop reported them.
                 let pairs = crate::antenna::enumerate_pairs(base.n_antennas());
                 quality.pairs_attempted = pairs.len();
-                let extracted =
-                    crate::par::map(&pairs, |_, &(a, b)| self.extract_for_pair(base, tar, a, b));
+                let extracted = crate::par::map(&pairs, |_, &(a, b)| {
+                    self.extract_for_pair(base, tar, a, b, rejected)
+                });
                 quality.pairs_resolved = extracted.iter().filter(|f| f.is_ok()).count();
                 let mut combined: Result<Option<MaterialFeature>, FeatureError> = Ok(None);
                 for f in extracted {
@@ -320,6 +363,7 @@ impl WiMi {
         &self,
         baseline: &CsiCapture,
         target: &CsiCapture,
+        rejected: &[usize],
     ) -> (
         Result<MaterialFeature, FeatureError>,
         crate::feature::JointDiagnostics,
@@ -329,12 +373,7 @@ impl WiMi {
         // measurement and is independent across pairs — fan it out.
         let pairs = crate::antenna::enumerate_pairs(baseline.n_antennas());
         let profiles = crate::par::map(&pairs, |_, &(a, b)| {
-            let phase_base = PhaseDifferenceProfile::compute(baseline, a, b);
-            let phase_tar = PhaseDifferenceProfile::compute(target, a, b);
-            let selected = self.config.subcarriers.resolve(&phase_base, &phase_tar);
-            let amp_base = AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude);
-            let amp_tar = AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude);
-            (phase_base, phase_tar, amp_base, amp_tar, selected)
+            self.pair_profiles(baseline, target, a, b, rejected)
         });
         let inputs: Vec<crate::feature::PairMeasurement<'_>> = profiles
             .iter()
@@ -345,10 +384,57 @@ impl WiMi {
                     amp_base,
                     amp_tar,
                     subcarriers: selected,
+                    rejected,
                 }
             })
             .collect();
+        let _span = self
+            .recorder
+            .as_ref()
+            .map(|r| r.span(StageId::GammaResolution));
         MaterialFeature::extract_joint_with_diag(&inputs, &self.config.feature)
+    }
+
+    /// Per-pair profile computation shared by the joint and single-pair
+    /// paths: phase calibration, good-subcarrier selection, amplitude
+    /// denoising — each under its stage span when a recorder is attached.
+    #[allow(clippy::type_complexity)]
+    fn pair_profiles(
+        &self,
+        baseline: &CsiCapture,
+        target: &CsiCapture,
+        a: usize,
+        b: usize,
+        rejected: &[usize],
+    ) -> (
+        PhaseDifferenceProfile,
+        PhaseDifferenceProfile,
+        AmplitudeRatioProfile,
+        AmplitudeRatioProfile,
+        Vec<usize>,
+    ) {
+        let rec = self.recorder.as_ref();
+        let (phase_base, phase_tar) = {
+            let _span = rec.map(|r| r.span(StageId::PhaseCalibration));
+            (
+                PhaseDifferenceProfile::compute(baseline, a, b),
+                PhaseDifferenceProfile::compute(target, a, b),
+            )
+        };
+        let selected = {
+            let _span = rec.map(|r| r.span(StageId::SubcarrierSelection));
+            self.config
+                .subcarriers
+                .resolve_excluding(&phase_base, &phase_tar, rejected)
+        };
+        let (amp_base, amp_tar) = {
+            let _span = rec.map(|r| r.span(StageId::AmplitudeDenoising));
+            (
+                AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude),
+                AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude),
+            )
+        };
+        (phase_base, phase_tar, amp_base, amp_tar, selected)
     }
 
     fn extract_for_pair(
@@ -357,18 +443,21 @@ impl WiMi {
         target: &CsiCapture,
         a: usize,
         b: usize,
+        rejected: &[usize],
     ) -> Result<MaterialFeature, FeatureError> {
-        let phase_base = PhaseDifferenceProfile::compute(baseline, a, b);
-        let phase_tar = PhaseDifferenceProfile::compute(target, a, b);
-        let selected = self.config.subcarriers.resolve(&phase_base, &phase_tar);
-        let amp_base = AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude);
-        let amp_tar = AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude);
-        MaterialFeature::extract(
+        let (phase_base, phase_tar, amp_base, amp_tar, selected) =
+            self.pair_profiles(baseline, target, a, b, rejected);
+        let _span = self
+            .recorder
+            .as_ref()
+            .map(|r| r.span(StageId::GammaResolution));
+        MaterialFeature::extract_excluding(
             &phase_base,
             &phase_tar,
             &amp_base,
             &amp_tar,
             &selected,
+            rejected,
             &self.config.feature,
         )
     }
@@ -397,7 +486,12 @@ impl WiMi {
             scaled.push(scaler.transform_one(x), y);
         }
         let mut rng = StdRng::seed_from_u64(self.config.train_seed);
-        let model = MulticlassSvm::train(&scaled, &self.config.svm, &mut rng);
+        let model = MulticlassSvm::train_recorded(
+            &scaled,
+            &self.config.svm,
+            &mut rng,
+            self.recorder.as_deref(),
+        );
         self.class_names = ds.class_names().to_vec();
         self.scaler = Some(scaler);
         self.model = Some(model);
@@ -417,6 +511,10 @@ impl WiMi {
         let model = self.model.as_ref().ok_or(IdentifyError::NotTrained)?;
         let scaler = self.scaler.as_ref().ok_or(IdentifyError::NotTrained)?;
         let feature = self.extract_feature(baseline, target)?;
+        let _span = self
+            .recorder
+            .as_ref()
+            .map(|r| r.span(StageId::Classification));
         let label = model.predict(&scaler.transform_one(&feature.as_vector()));
         Ok(Identification {
             material: self.class_names[label].clone(),
@@ -433,7 +531,58 @@ impl WiMi {
     pub fn classify_feature(&self, feature: &MaterialFeature) -> Result<usize, IdentifyError> {
         let model = self.model.as_ref().ok_or(IdentifyError::NotTrained)?;
         let scaler = self.scaler.as_ref().ok_or(IdentifyError::NotTrained)?;
+        let _span = self
+            .recorder
+            .as_ref()
+            .map(|r| r.span(StageId::Classification));
         Ok(model.predict(&scaler.transform_one(&feature.as_vector())))
+    }
+}
+
+/// Folds one finished measurement into the recorder: outcome counters,
+/// packet/antenna/pair accounting, per-issue tallies, and the γ and Ω̄
+/// dispersion histograms on success.
+fn record_measurement(rec: &Recorder, m: &Measurement) {
+    let q = &m.quality;
+    rec.incr(CounterId::MeasurementsAttempted);
+    rec.incr(if m.is_ok() {
+        CounterId::MeasurementsOk
+    } else {
+        CounterId::MeasurementsFailed
+    });
+    if q.salvaged() {
+        rec.incr(CounterId::MeasurementsSalvaged);
+    }
+    let total = (q.baseline_packets_total + q.target_packets_total) as u64;
+    let kept = (q.baseline_packets_kept + q.target_packets_kept) as u64;
+    rec.add(CounterId::PacketsKept, kept);
+    rec.add(CounterId::PacketsDropped, total.saturating_sub(kept));
+    rec.add(CounterId::AntennasDropped, q.antennas_dropped.len() as u64);
+    rec.add(
+        CounterId::SubcarriersRejected,
+        q.subcarriers_rejected as u64,
+    );
+    rec.add(CounterId::PairsAttempted, q.pairs_attempted as u64);
+    rec.add(CounterId::PairsResolved, q.pairs_resolved as u64);
+    for issue in &q.issues {
+        rec.issue(issue_id(&issue.kind), 1);
+    }
+    if let Ok(f) = &m.feature {
+        rec.record_gamma(f.gamma);
+        rec.record_dispersion(f.dispersion);
+    }
+}
+
+/// The recorder bucket a [`QualityReport`] issue tallies under.
+fn issue_id(kind: &IssueKind) -> IssueId {
+    match kind {
+        IssueKind::NonFinitePackets { .. } => IssueId::NonFinitePackets,
+        IssueKind::DeadAntenna { .. } => IssueId::DeadAntenna,
+        IssueKind::PartialDropout { .. } => IssueId::PartialDropout,
+        IssueKind::ShortCapture { .. } => IssueId::ShortCapture,
+        IssueKind::RejectedSubcarriers { .. } => IssueId::RejectedSubcarriers,
+        IssueKind::PairsUnresolved { .. } => IssueId::PairsUnresolved,
+        IssueKind::Extraction(_) => IssueId::Extraction,
     }
 }
 
@@ -487,6 +636,9 @@ struct Screened<'a> {
     /// Original indices of the surviving antennas, ascending. Survivor
     /// `i` of the screened captures is original antenna `survivors[i]`.
     survivors: Vec<usize>,
+    /// Subcarrier indices triage found unusable (zero amplitude median on
+    /// a surviving antenna); selection must not pick them.
+    rejected_subcarriers: Vec<usize>,
 }
 
 /// Per-capture scan: finite mask, per-packet/per-antenna all-zero rows,
@@ -648,10 +800,14 @@ fn screen<'a>(
 
     // Subcarrier triage, only worth the scan when something was zero or
     // dropped: a subcarrier whose amplitude median is zero on a surviving
-    // antenna in either capture carries no usable signal.
+    // antenna in either capture carries no usable signal. The *set* (not
+    // just the count) flows into subcarrier selection: a zeroed
+    // subcarrier has constant phase, so its phase-difference variance is
+    // zero and `BestByVariance` would otherwise pick it first.
+    let mut rejected_subcarriers: Vec<usize> = Vec::new();
     if salvaged || scan_b.saw_zero || scan_t.saw_zero {
         let n_sub = base.n_subcarriers();
-        let rejected = (0..n_sub)
+        rejected_subcarriers = (0..n_sub)
             .filter(|&k| {
                 [base.as_ref(), tar.as_ref()].into_iter().any(|cap| {
                     (0..cap.n_antennas()).any(|a| {
@@ -662,12 +818,14 @@ fn screen<'a>(
                     })
                 })
             })
-            .count();
-        if rejected > 0 {
-            quality.subcarriers_rejected = rejected;
+            .collect();
+        if !rejected_subcarriers.is_empty() {
+            quality.subcarriers_rejected = rejected_subcarriers.len();
             quality.issues.push(StageIssue::new(
                 Stage::SubcarrierSelection,
-                IssueKind::RejectedSubcarriers { count: rejected },
+                IssueKind::RejectedSubcarriers {
+                    count: rejected_subcarriers.len(),
+                },
             ));
         }
     }
@@ -676,6 +834,7 @@ fn screen<'a>(
         baseline: base,
         target: tar,
         survivors,
+        rejected_subcarriers,
     })
 }
 
@@ -835,6 +994,66 @@ mod tests {
                 p
             })
             .collect()
+    }
+
+    /// Returns a copy of the capture with one `subcarrier` zeroed on
+    /// `antenna` in every packet — a dead tone on a surviving RF chain.
+    fn kill_subcarrier(cap: &CsiCapture, antenna: usize, subcarrier: usize) -> CsiCapture {
+        cap.iter()
+            .map(|p| {
+                let mut p = p.clone();
+                *p.get_mut(antenna, subcarrier) = wimi_phy::complex::Complex::ZERO;
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zeroed_subcarrier_is_rejected_not_selected_fixed_pair() {
+        // Regression for the triage/selection disconnect: a subcarrier
+        // zeroed on a surviving antenna has constant phase → zero
+        // phase-difference variance → BestByVariance used to pick it
+        // *first*, and the measurement failed with DegenerateAmplitude
+        // despite 29 clean subcarriers being available.
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        let base = kill_subcarrier(&base, 0, 5);
+        let tar = kill_subcarrier(&tar, 0, 5);
+        let wimi = WiMi::new(WiMiConfig {
+            pairs: PairSelection::Fixed(0, 1),
+            ..WiMiConfig::default()
+        });
+        let m = wimi.measure(&base, &tar);
+        assert_eq!(m.quality.subcarriers_rejected, 1);
+        assert!(m
+            .quality
+            .issues
+            .iter()
+            .any(|i| matches!(i.kind, IssueKind::RejectedSubcarriers { count: 1 })));
+        let f = m
+            .feature
+            .expect("pre-fix this was Err(DegenerateAmplitude)");
+        assert!(!f.subcarriers.contains(&5), "selected {:?}", f.subcarriers);
+        assert_eq!(f.omega.len(), 4);
+        assert!(f.omega.iter().all(|o| o.is_finite()));
+    }
+
+    #[test]
+    fn zeroed_subcarrier_is_rejected_not_selected_best_pairs() {
+        // Same regression through the default joint (Best) path: the
+        // zeroed subcarrier poisoned both pairs touching antenna 0,
+        // leaving fewer consistent pairs than the ambiguity gate needs.
+        let (base, tar) = capture_pair(Liquid::Milk, 1, 40);
+        let base = kill_subcarrier(&base, 0, 5);
+        let tar = kill_subcarrier(&tar, 0, 5);
+        let wimi = WiMi::new(WiMiConfig::default());
+        let m = wimi.measure(&base, &tar);
+        assert_eq!(m.quality.subcarriers_rejected, 1);
+        let f = m.feature.expect("joint extraction over clean subcarriers");
+        assert!(!f.subcarriers.contains(&5), "selected {:?}", f.subcarriers);
+        // The clean-capture feature over the same scenario uses the same
+        // pipeline; zeroing one rejected tone must not panic or distort
+        // the Ω̄ count.
+        assert_eq!(f.omega.len(), 4);
     }
 
     #[test]

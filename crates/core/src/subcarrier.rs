@@ -42,6 +42,37 @@ impl SubcarrierSelection {
         baseline: &PhaseDifferenceProfile,
         target: &PhaseDifferenceProfile,
     ) -> Vec<usize> {
+        self.resolve_excluding(baseline, target, &[])
+    }
+
+    /// Like [`SubcarrierSelection::resolve`], but subcarriers in
+    /// `rejected` (indices triage found unusable — e.g. a zeroed
+    /// subcarrier on a surviving antenna) are excluded from
+    /// [`SubcarrierSelection::BestByVariance`] ranking.
+    ///
+    /// The exclusion matters because an unusable subcarrier can *win* the
+    /// variance ranking: a zeroed subcarrier has constant (zero) phase,
+    /// hence zero phase-difference variance, and would be picked first —
+    /// only to fail downstream with a degenerate amplitude.
+    ///
+    /// Panic-free fallback: when fewer than `P` subcarriers survive the
+    /// exclusion, every survivor is taken and the remainder is filled
+    /// from the rejected set in variance order, keeping the feature
+    /// vector's length fixed (the classifier's input layout must not
+    /// change with capture quality). [`SubcarrierSelection::Fixed`] is an
+    /// explicit operator choice (ablations, Fig. 13 comparisons) and
+    /// ignores `rejected`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`SubcarrierSelection::resolve`]: profile length
+    /// mismatch, out-of-range fixed index, or a zero/oversized count.
+    pub fn resolve_excluding(
+        &self,
+        baseline: &PhaseDifferenceProfile,
+        target: &PhaseDifferenceProfile,
+        rejected: &[usize],
+    ) -> Vec<usize> {
         assert_eq!(
             baseline.len(),
             target.len(),
@@ -56,7 +87,10 @@ impl SubcarrierSelection {
                     .map(|k| (k, baseline.variance[k] + target.variance[k]))
                     .collect();
                 scored.sort_by(|a, b| a.1.total_cmp(&b.1));
-                let mut chosen: Vec<usize> = scored[..*p].iter().map(|&(k, _)| k).collect();
+                let clean = scored.iter().filter(|(k, _)| !rejected.contains(k));
+                // Fallback fill, best rejected first.
+                let bad = scored.iter().filter(|(k, _)| rejected.contains(k));
+                let mut chosen: Vec<usize> = clean.chain(bad).take(*p).map(|&(k, _)| k).collect();
                 chosen.sort_unstable();
                 chosen
             }
@@ -129,6 +163,52 @@ mod tests {
         let tar = profile(vec![0.0; 10]);
         let chosen = SubcarrierSelection::Fixed(vec![7, 2, 7, 5]).resolve(&base, &tar);
         assert_eq!(chosen, vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn excluded_subcarrier_loses_even_with_zero_variance() {
+        // A zeroed subcarrier has constant phase → zero variance → would
+        // win the ranking; triage rejection must override that.
+        let base = profile(vec![0.0, 0.3, 0.1, 0.2]);
+        let tar = profile(vec![0.0, 0.3, 0.1, 0.2]);
+        let chosen = SubcarrierSelection::BestByVariance(2).resolve_excluding(&base, &tar, &[0]);
+        assert_eq!(chosen, vec![2, 3]);
+    }
+
+    #[test]
+    fn exclusion_falls_back_when_too_few_survive() {
+        // Only one clean subcarrier for P = 3: take it, then fill from
+        // the rejected set in variance order — never panic, and keep the
+        // selection length fixed.
+        let base = profile(vec![0.4, 0.1, 0.3, 0.2]);
+        let tar = profile(vec![0.0; 4]);
+        let sel = SubcarrierSelection::BestByVariance(3);
+        let chosen = sel.resolve_excluding(&base, &tar, &[0, 2, 3]);
+        assert_eq!(chosen.len(), 3);
+        assert!(chosen.contains(&1));
+        assert_eq!(chosen, vec![1, 2, 3]); // 0.2 and 0.3 beat 0.4
+                                           // Everything rejected: still a full-length, panic-free answer.
+        let all_bad = sel.resolve_excluding(&base, &tar, &[0, 1, 2, 3]);
+        assert_eq!(all_bad, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_selection_ignores_rejections() {
+        let base = profile(vec![0.0; 6]);
+        let tar = profile(vec![0.0; 6]);
+        let chosen = SubcarrierSelection::Fixed(vec![1, 4]).resolve_excluding(&base, &tar, &[1]);
+        assert_eq!(chosen, vec![1, 4]);
+    }
+
+    #[test]
+    fn empty_rejection_set_matches_resolve() {
+        let base = profile(vec![0.5, 0.1, 0.9, 0.05, 0.3]);
+        let tar = profile(vec![0.4, 0.1, 0.8, 0.05, 0.3]);
+        let sel = SubcarrierSelection::BestByVariance(3);
+        assert_eq!(
+            sel.resolve(&base, &tar),
+            sel.resolve_excluding(&base, &tar, &[])
+        );
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! and per-figure reporting.
 
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use wimi_core::{MaterialFeature, WiMi, WiMiConfig};
 use wimi_ml::dataset::Dataset;
 use wimi_ml::metrics::ConfusionMatrix;
+use wimi_obs::{CounterId, Recorder};
 use wimi_phy::channel::Environment;
 use wimi_phy::csi::{CsiCapture, CsiSource};
 use wimi_phy::fault::FaultPlan;
@@ -115,6 +117,11 @@ pub struct RunOptions {
     /// from the plan's seed and its own, so runs stay deterministic and
     /// thread-count invariant.
     pub fault: Option<FaultPlan>,
+    /// Optional observability recorder shared by the simulator, the
+    /// pipeline, and the harness itself (`None` = no recording). All
+    /// recorded aggregates are order-independent, so runs stay
+    /// thread-count invariant with a recorder attached.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for RunOptions {
@@ -129,6 +136,7 @@ impl Default for RunOptions {
             modify: Box::new(|_| {}),
             retry: RetryPolicy::default(),
             fault: None,
+            recorder: None,
         }
     }
 }
@@ -174,11 +182,21 @@ pub fn capture_pair(
     offset_cm: f64,
     modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
 ) -> (CsiCapture, CsiCapture) {
-    capture_pair_faulted(spec, environment, packets, seed, offset_cm, modify, None)
+    capture_pair_faulted(
+        spec,
+        environment,
+        packets,
+        seed,
+        offset_cm,
+        modify,
+        None,
+        None,
+    )
 }
 
 /// Like [`capture_pair`], with an optional fault plan applied to both
-/// captures. The plan is reseeded from its own seed XOR the capture seed,
+/// captures and an optional observability recorder attached to the
+/// simulator. The plan is reseeded from its own seed XOR the capture seed,
 /// so each measurement draws an independent, reproducible fault stream.
 #[allow(clippy::too_many_arguments)]
 pub fn capture_pair_faulted(
@@ -189,6 +207,7 @@ pub fn capture_pair_faulted(
     offset_cm: f64,
     modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
     fault: Option<&FaultPlan>,
+    recorder: Option<&Arc<Recorder>>,
 ) -> (CsiCapture, CsiCapture) {
     let mut builder = Scenario::builder();
     builder.environment(environment);
@@ -198,6 +217,7 @@ pub fn capture_pair_faulted(
     if let Some(plan) = fault {
         sim.set_fault_plan(Some(plan.clone().with_seed(plan.seed() ^ seed)));
     }
+    sim.set_recorder(recorder.cloned());
     let baseline = sim.capture(packets);
     sim.set_liquid(Some(spec.clone()));
     let target = sim.capture(packets);
@@ -222,6 +242,7 @@ pub fn measure(
 ) -> (Option<MaterialFeature>, MeasureStats) {
     let mut placement = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut stats = MeasureStats::default();
+    let rec = opts.recorder.as_ref();
     for attempt in 0..opts.retry.allowed_attempts(opts.packets) {
         let offset_cm = 1.0 + placement.gen_range(-0.5..0.5);
         let (base, tar) = capture_pair_faulted(
@@ -232,16 +253,25 @@ pub fn measure(
             offset_cm,
             opts.modify.as_ref(),
             opts.fault.as_ref(),
+            rec,
         );
         stats.packets_spent += 2 * opts.packets;
         let m = extractor.measure(&base, &tar);
         match m.feature {
             Ok(f) => {
                 stats.salvaged = m.quality.salvaged();
+                if let Some(rec) = rec {
+                    rec.add(CounterId::Retries, stats.rejected as u64);
+                    rec.record_attempts(attempt as u64 + 1);
+                }
                 return (Some(f), stats);
             }
             Err(_) => stats.rejected += 1,
         }
+    }
+    if let Some(rec) = rec {
+        rec.add(CounterId::Retries, stats.rejected.saturating_sub(1) as u64);
+        rec.record_attempts(stats.rejected as u64);
     }
     (None, stats)
 }
@@ -254,7 +284,8 @@ pub fn measure(
 /// (`WIMI_THREADS`). Results are folded back in trial-major order, which
 /// makes the confusion matrix bitwise identical for any thread count.
 pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResult {
-    let extractor = WiMi::new(opts.config.clone());
+    let mut extractor = WiMi::new(opts.config.clone());
+    extractor.set_recorder(opts.recorder.clone());
     let class_names: Vec<String> = materials.iter().map(|m| m.name.clone()).collect();
 
     let mut dropped = 0usize;
@@ -290,6 +321,7 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
     }
 
     let mut wimi = WiMi::new(opts.config.clone());
+    wimi.set_recorder(opts.recorder.clone());
     wimi.train_on_dataset(&train);
 
     // Test set.
@@ -313,6 +345,10 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
             }
             None => dropped += 1,
         }
+    }
+
+    if let Some(rec) = &opts.recorder {
+        rec.add(CounterId::TrialsDropped, dropped as u64);
     }
 
     RunResult {

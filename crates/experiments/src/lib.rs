@@ -19,6 +19,7 @@ pub mod degradation;
 pub mod features;
 pub mod harness;
 pub mod microbench;
+pub mod obs;
 
 pub use accuracy::Effort;
 
@@ -48,6 +49,7 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
         "ablation-classifier" => ablation::ablation_classifier(effort),
         "flow" => ablation::robustness_flowing_liquid(),
         "degradation" => degradation::degradation(effort),
+        "obs-report" => obs::obs_report(effort, None, false),
         "environments" => ablation::environments(effort),
         _ => return false,
     }
@@ -55,7 +57,7 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
 }
 
 /// Every experiment name, in report order.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "fig2",
     "fig3",
     "fig6",
@@ -79,6 +81,7 @@ pub const ALL_EXPERIMENTS: [&str; 23] = [
     "ablation-classifier",
     "flow",
     "degradation",
+    "obs-report",
 ];
 
 #[cfg(test)]

@@ -1,25 +1,53 @@
 //! CLI entry point: `cargo run -p wimi-experiments --release -- all`.
 
-use wimi_experiments::{run_named, Effort, ALL_EXPERIMENTS};
+use wimi_experiments::{obs, run_named, Effort, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: wimi-experiments [--quick] [--obs-json PATH] [--obs-wall] \
+         all | environments | <name>...\n       \
+         wimi-experiments obs-validate PATH"
+    );
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let obs_wall = args.iter().any(|a| a == "--obs-wall");
     let effort = if quick {
         Effort::quick()
     } else {
         Effort::full()
     };
-    let names: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+
+    // `--obs-json` consumes a value; everything else non-flag is a name.
+    let mut obs_json: Option<String> = None;
+    let mut names: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--obs-json" {
+            match it.next() {
+                Some(p) => obs_json = Some(p.clone()),
+                None => usage(),
+            }
+        } else if !a.starts_with("--") {
+            names.push(a.as_str());
+        }
+    }
 
     if names.is_empty() || names == ["help"] {
-        eprintln!("usage: wimi-experiments [--quick] all | environments | <name>...");
-        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
-        std::process::exit(2);
+        usage();
+    }
+
+    // Validation subcommand: no experiments run, just the schema check.
+    if names[0] == "obs-validate" {
+        match names.get(1) {
+            Some(path) => obs::obs_validate(path),
+            None => usage(),
+        }
+        return;
     }
 
     let started = std::time::Instant::now();
@@ -30,6 +58,12 @@ fn main() {
         assert!(run_named("environments", effort));
     } else {
         for name in &names {
+            // The obs report takes CLI-only options (JSON export path,
+            // wall-clock timings) that `run_named` cannot carry.
+            if *name == "obs-report" {
+                obs::obs_report(effort, obs_json.as_deref(), obs_wall);
+                continue;
+            }
             if !run_named(name, effort) {
                 eprintln!("unknown experiment: {name}");
                 eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));

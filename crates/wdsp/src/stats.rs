@@ -80,6 +80,11 @@ pub fn robust_std(xs: &[f64]) -> f64 {
 
 /// Linear Pearson correlation of two equal-length series.
 ///
+/// Returns 0 when either series is constant (or so nearly constant that
+/// the product of squared deviations underflows): a constant series
+/// carries no linear association, and the denominator would otherwise
+/// divide by zero and return NaN.
+///
 /// # Panics
 ///
 /// Panics if lengths differ or are below 2.
@@ -95,6 +100,9 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
         num += (x - mx) * (y - my);
         dx2 += (x - mx) * (x - mx);
         dy2 += (y - my) * (y - my);
+    }
+    if dx2 * dy2 <= 0.0 {
+        return 0.0;
     }
     num / (dx2 * dy2).sqrt()
 }
@@ -139,9 +147,17 @@ pub fn circular_variance(angles: &[f64]) -> f64 {
     1.0 - circular_resultant(angles)
 }
 
-/// Circular standard deviation `√(−2·ln R)` (radians).
+/// Circular standard deviation `√(−2·ln R)` (radians). Returns `NaN` for
+/// an empty slice.
+///
+/// The resultant is clamped to `[1e-300, 1.0]`: float rounding can push
+/// `R` infinitesimally above 1 for perfectly aligned angles, which would
+/// make `−2·ln R` negative and the square root NaN.
 pub fn circular_std(angles: &[f64]) -> f64 {
-    let r = circular_resultant(angles).max(1e-300);
+    if angles.is_empty() {
+        return f64::NAN;
+    }
+    let r = circular_resultant(angles).clamp(1e-300, 1.0);
     (-2.0 * r.ln()).sqrt()
 }
 
@@ -263,6 +279,30 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn pearson_rejects_mismatched() {
         let _ = pearson(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero_not_nan() {
+        // Regression: a constant series made the denominator zero and the
+        // correlation NaN.
+        assert_eq!(pearson(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[-2.5, -2.5, -2.5]), 0.0);
+        assert_eq!(pearson(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        // Near-constant series whose squared deviations underflow the
+        // product to zero must take the guard, not divide by 0.
+        let tiny_x = [0.0, 1e-200];
+        let tiny_y = [0.0, 1e-200];
+        assert!(pearson(&tiny_x, &tiny_y).is_finite());
+    }
+
+    #[test]
+    fn circular_std_perfect_alignment_is_zero_not_nan() {
+        // Regression: rounding could push the resultant above 1, making
+        // −2·ln R negative and the square root NaN.
+        let aligned = [1.234567; 500];
+        let s = circular_std(&aligned);
+        assert!(s.is_finite() && (0.0..1e-6).contains(&s), "std = {s}");
+        assert!(circular_std(&[]).is_nan());
     }
 
     #[test]

@@ -409,6 +409,9 @@ pub struct Simulator {
     /// Monotonic capture counter, used as the fault-plan nonce so each
     /// capture under one plan sees an independent, reproducible stream.
     captures_taken: u64,
+    /// Optional observability sink; `None` costs nothing on the packet
+    /// path. Never influences simulation output.
+    recorder: Option<std::sync::Arc<wimi_obs::Recorder>>,
 }
 
 /// Static multipath path gains for every (antenna, subcarrier) of a
@@ -481,7 +484,15 @@ impl Simulator {
             perturb_sigmas,
             fault: None,
             captures_taken: 0,
+            recorder: None,
         }
+    }
+
+    /// Attaches (or detaches) an observability recorder. Captures then
+    /// report [`wimi_obs::StageId::Capture`] spans plus packet/capture
+    /// counters; simulation output is bit-identical either way.
+    pub fn set_recorder(&mut self, recorder: Option<std::sync::Arc<wimi_obs::Recorder>>) {
+        self.recorder = recorder;
     }
 
     /// The scenario being simulated.
@@ -656,6 +667,12 @@ impl Simulator {
 
 impl CsiSource for Simulator {
     fn capture(&mut self, n_packets: usize) -> CsiCapture {
+        // Clone the Arc so the span's borrow does not pin `self` while
+        // the packet loop needs it mutably.
+        let recorder = self.recorder.clone();
+        let _span = recorder
+            .as_ref()
+            .map(|r| r.span(wimi_obs::StageId::Capture));
         let mut packets = Vec::with_capacity(n_packets);
         for _ in 0..n_packets {
             packets.push(self.packet());
@@ -663,6 +680,10 @@ impl CsiSource for Simulator {
         let clean = CsiCapture::from_packets(packets);
         let nonce = self.captures_taken;
         self.captures_taken = self.captures_taken.wrapping_add(1);
+        if let Some(rec) = &self.recorder {
+            rec.incr(wimi_obs::CounterId::CapturesTaken);
+            rec.add(wimi_obs::CounterId::PacketsSimulated, n_packets as u64);
+        }
         match &self.fault {
             Some(plan) if !plan.is_identity() => plan.apply(&clean, nonce),
             _ => clean,

@@ -50,6 +50,24 @@ impl MulticlassSvm {
     ///
     /// Panics if the dataset has fewer than two populated classes.
     pub fn train<R: Rng + ?Sized>(ds: &Dataset, params: &SvmParams, rng: &mut R) -> Self {
+        Self::train_recorded(ds, params, rng, None)
+    }
+
+    /// Like [`MulticlassSvm::train`], but reports a
+    /// [`wimi_obs::StageId::Classification`] span and the number of binary
+    /// machines trained to `recorder`. Training output is bit-identical
+    /// with or without a recorder.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`MulticlassSvm::train`].
+    pub fn train_recorded<R: Rng + ?Sized>(
+        ds: &Dataset,
+        params: &SvmParams,
+        rng: &mut R,
+        recorder: Option<&wimi_obs::Recorder>,
+    ) -> Self {
+        let _span = recorder.map(|r| r.span(wimi_obs::StageId::Classification));
         let counts = ds.class_counts();
         let populated = counts.iter().filter(|&&c| c > 0).count();
         assert!(
@@ -84,6 +102,12 @@ impl MulticlassSvm {
             let mut machine_rng = StdRng::seed_from_u64(seed);
             (a, b, BinarySvm::train(&xs, &ys, params, &mut machine_rng))
         });
+        if let Some(rec) = recorder {
+            rec.add(
+                wimi_obs::CounterId::SvmMachinesTrained,
+                machines.len() as u64,
+            );
+        }
         MulticlassSvm {
             machines,
             n_classes: k,

@@ -1,0 +1,519 @@
+//! The [`Recorder`] sink: stage spans, counters, issue tallies and
+//! fixed-bucket histograms, all lock-free atomics.
+//!
+//! Everything recorded is an order-independent aggregate (commutative
+//! `fetch_add`s), so a snapshot taken after the parallel fan-out joins is
+//! bitwise identical for any `WIMI_THREADS` setting.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::{Clock, NullClock};
+use crate::snapshot::{Hist, Snapshot, StageStat};
+
+/// The pipeline stages a span can cover, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageId {
+    /// CSI acquisition (simulator or driver).
+    Capture,
+    /// Packet/antenna screening and salvage.
+    Screening,
+    /// Cross-antenna phase differencing.
+    PhaseCalibration,
+    /// Good-subcarrier selection (paper §III-B).
+    SubcarrierSelection,
+    /// Amplitude outlier rejection, denoising, ratio.
+    AmplitudeDenoising,
+    /// Joint Ω̄ extraction / γ ambiguity resolution.
+    GammaResolution,
+    /// SVM training and prediction.
+    Classification,
+}
+
+impl StageId {
+    /// All stages in canonical (pipeline) order.
+    pub const ALL: [StageId; 7] = [
+        StageId::Capture,
+        StageId::Screening,
+        StageId::PhaseCalibration,
+        StageId::SubcarrierSelection,
+        StageId::AmplitudeDenoising,
+        StageId::GammaResolution,
+        StageId::Classification,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            StageId::Capture => "capture",
+            StageId::Screening => "screening",
+            StageId::PhaseCalibration => "phase_calibration",
+            StageId::SubcarrierSelection => "subcarrier_selection",
+            StageId::AmplitudeDenoising => "amplitude_denoising",
+            StageId::GammaResolution => "gamma_resolution",
+            StageId::Classification => "classification",
+        }
+    }
+}
+
+/// Monotone event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterId {
+    /// Calls to `CsiSource::capture`.
+    CapturesTaken,
+    /// Packets synthesised by the simulator.
+    PacketsSimulated,
+    /// Packets surviving screening (baseline + target).
+    PacketsKept,
+    /// Packets removed by screening (baseline + target).
+    PacketsDropped,
+    /// Antennas removed by screening.
+    AntennasDropped,
+    /// Subcarriers rejected by post-salvage triage.
+    SubcarriersRejected,
+    /// `WiMi::measure` invocations.
+    MeasurementsAttempted,
+    /// Measurements yielding a feature.
+    MeasurementsOk,
+    /// Measurements refused with a taxonomy error.
+    MeasurementsFailed,
+    /// Measurements that needed the salvage path.
+    MeasurementsSalvaged,
+    /// Antenna pairs fed into joint extraction.
+    PairsAttempted,
+    /// Pairs surviving per-pair extraction.
+    PairsUsable,
+    /// Pairs consistent under the winning γ assignment.
+    PairsResolved,
+    /// Pairs skipped: selected subcarrier amplitude degenerate.
+    PairsSkippedDegenerate,
+    /// Pairs skipped: whole-band amplitude unusable.
+    PairsSkippedBandUnusable,
+    /// Retried measurements (failed attempts that were re-taken).
+    Retries,
+    /// Harness trials abandoned after the retry budget.
+    TrialsDropped,
+    /// Binary SVM machines trained (one-vs-one pairs).
+    SvmMachinesTrained,
+}
+
+impl CounterId {
+    /// All counters in canonical (snapshot) order.
+    pub const ALL: [CounterId; 18] = [
+        CounterId::CapturesTaken,
+        CounterId::PacketsSimulated,
+        CounterId::PacketsKept,
+        CounterId::PacketsDropped,
+        CounterId::AntennasDropped,
+        CounterId::SubcarriersRejected,
+        CounterId::MeasurementsAttempted,
+        CounterId::MeasurementsOk,
+        CounterId::MeasurementsFailed,
+        CounterId::MeasurementsSalvaged,
+        CounterId::PairsAttempted,
+        CounterId::PairsUsable,
+        CounterId::PairsResolved,
+        CounterId::PairsSkippedDegenerate,
+        CounterId::PairsSkippedBandUnusable,
+        CounterId::Retries,
+        CounterId::TrialsDropped,
+        CounterId::SvmMachinesTrained,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::CapturesTaken => "captures_taken",
+            CounterId::PacketsSimulated => "packets_simulated",
+            CounterId::PacketsKept => "packets_kept",
+            CounterId::PacketsDropped => "packets_dropped",
+            CounterId::AntennasDropped => "antennas_dropped",
+            CounterId::SubcarriersRejected => "subcarriers_rejected",
+            CounterId::MeasurementsAttempted => "measurements_attempted",
+            CounterId::MeasurementsOk => "measurements_ok",
+            CounterId::MeasurementsFailed => "measurements_failed",
+            CounterId::MeasurementsSalvaged => "measurements_salvaged",
+            CounterId::PairsAttempted => "pairs_attempted",
+            CounterId::PairsUsable => "pairs_usable",
+            CounterId::PairsResolved => "pairs_resolved",
+            CounterId::PairsSkippedDegenerate => "pairs_skipped_degenerate",
+            CounterId::PairsSkippedBandUnusable => "pairs_skipped_band_unusable",
+            CounterId::Retries => "retries",
+            CounterId::TrialsDropped => "trials_dropped",
+            CounterId::SvmMachinesTrained => "svm_machines_trained",
+        }
+    }
+}
+
+/// Quality-report issue kinds, mirroring `wimi_core::error::IssueKind`
+/// (named here rather than imported: `wimi-obs` sits below `wimi-core` in
+/// the dependency graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueId {
+    /// Packets dropped for non-finite CSI entries.
+    NonFinitePackets,
+    /// An antenna was dead across the capture.
+    DeadAntenna,
+    /// An antenna was dropped for partial dropout.
+    PartialDropout,
+    /// Too few packets survived screening.
+    ShortCapture,
+    /// Subcarriers rejected by triage.
+    RejectedSubcarriers,
+    /// Antenna pairs left unresolved by γ search.
+    PairsUnresolved,
+    /// Extraction refused with a taxonomy error.
+    Extraction,
+}
+
+impl IssueId {
+    /// All issue kinds in canonical (snapshot) order.
+    pub const ALL: [IssueId; 7] = [
+        IssueId::NonFinitePackets,
+        IssueId::DeadAntenna,
+        IssueId::PartialDropout,
+        IssueId::ShortCapture,
+        IssueId::RejectedSubcarriers,
+        IssueId::PairsUnresolved,
+        IssueId::Extraction,
+    ];
+
+    /// Stable snake_case name used in snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            IssueId::NonFinitePackets => "non_finite_packets",
+            IssueId::DeadAntenna => "dead_antenna",
+            IssueId::PartialDropout => "partial_dropout",
+            IssueId::ShortCapture => "short_capture",
+            IssueId::RejectedSubcarriers => "rejected_subcarriers",
+            IssueId::PairsUnresolved => "pairs_unresolved",
+            IssueId::Extraction => "extraction",
+        }
+    }
+}
+
+/// γ histogram bucket labels: the winning phase wrap count, clamped into
+/// the end buckets.
+pub const GAMMA_LABELS: [&str; 9] = ["<=-4", "-3", "-2", "-1", "0", "1", "2", "3", ">=4"];
+
+/// Ω̄ dispersion histogram upper bucket edges (last bucket is open).
+pub const DISPERSION_EDGES: [f64; 5] = [0.02, 0.05, 0.1, 0.2, 0.5];
+
+/// Ω̄ dispersion histogram bucket labels.
+pub const DISPERSION_LABELS: [&str; 6] = ["<=0.02", "<=0.05", "<=0.1", "<=0.2", "<=0.5", ">0.5"];
+
+/// Retry-attempt histogram bucket labels (attempts used per successful
+/// or abandoned measurement).
+pub const ATTEMPT_LABELS: [&str; 6] = ["1", "2", "3", "4", "5", ">=6"];
+
+/// The observability sink. Cheap to share (`Arc`), thread-safe, and
+/// near-free when disabled: every recording method is one branch before
+/// any atomic traffic.
+pub struct Recorder {
+    enabled: bool,
+    clock: Arc<dyn Clock>,
+    stage_calls: [AtomicU64; 7],
+    stage_ns: [AtomicU64; 7],
+    counters: [AtomicU64; 18],
+    issues: [AtomicU64; 7],
+    gamma: [AtomicU64; 9],
+    dispersion: [AtomicU64; 6],
+    attempts: [AtomicU64; 6],
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("clock", &self.clock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::disabled()
+    }
+}
+
+fn zeroes<const N: usize>() -> [AtomicU64; N] {
+    std::array::from_fn(|_| AtomicU64::new(0))
+}
+
+impl Recorder {
+    fn with(enabled: bool, clock: Arc<dyn Clock>) -> Self {
+        Recorder {
+            enabled,
+            clock,
+            stage_calls: zeroes(),
+            stage_ns: zeroes(),
+            counters: zeroes(),
+            issues: zeroes(),
+            gamma: zeroes(),
+            dispersion: zeroes(),
+            attempts: zeroes(),
+        }
+    }
+
+    /// A recorder that records nothing (the default). All methods reduce
+    /// to a single branch.
+    pub fn disabled() -> Self {
+        Recorder::with(false, Arc::new(NullClock))
+    }
+
+    /// The deterministic enabled mode: counters, issues and histograms
+    /// accumulate; span durations stay 0 because the [`NullClock`] reads
+    /// nothing. Snapshots from this mode are bitwise reproducible under
+    /// any `WIMI_THREADS`.
+    pub fn enabled() -> Self {
+        Recorder::with(true, Arc::new(NullClock))
+    }
+
+    /// Enabled with an injected clock so span durations are real. Only
+    /// binary crates should inject a wall clock; doing so trades away
+    /// snapshot determinism (durations only — counts stay exact).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Recorder::with(true, clock)
+    }
+
+    /// Whether this recorder is accumulating.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span over `stage`; closing (dropping) it adds one call and
+    /// the elapsed clock delta to the stage's totals.
+    #[inline]
+    pub fn span(&self, stage: StageId) -> Span<'_> {
+        let start_ns = if self.enabled { self.clock.now_ns() } else { 0 };
+        Span {
+            rec: self,
+            stage,
+            start_ns,
+        }
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn add(&self, counter: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1 to a counter.
+    #[inline]
+    pub fn incr(&self, counter: CounterId) {
+        self.add(counter, 1);
+    }
+
+    /// Tallies `n` occurrences of a quality-report issue kind.
+    #[inline]
+    pub fn issue(&self, issue: IssueId, n: u64) {
+        if self.enabled {
+            self.issues[issue as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a resolved γ (phase wrap count) into the γ histogram.
+    #[inline]
+    pub fn record_gamma(&self, gamma: i32) {
+        if self.enabled {
+            let idx = (gamma + 4).clamp(0, 8) as usize;
+            self.gamma[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an Ω̄ cross-pair dispersion into its histogram. Non-finite
+    /// values land in the open top bucket.
+    #[inline]
+    pub fn record_dispersion(&self, dispersion: f64) {
+        if self.enabled {
+            let idx = DISPERSION_EDGES
+                .iter()
+                .position(|&edge| dispersion <= edge)
+                .unwrap_or(DISPERSION_EDGES.len());
+            self.dispersion[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records how many attempts one logical measurement consumed
+    /// (1 = first try succeeded).
+    #[inline]
+    pub fn record_attempts(&self, attempts: u64) {
+        if self.enabled {
+            let idx = attempts.saturating_sub(1).min(5) as usize;
+            self.attempts[idx].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads every aggregate into a plain-data [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        let read = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        Snapshot {
+            stages: StageId::ALL
+                .iter()
+                .map(|&s| StageStat {
+                    stage: s.name(),
+                    calls: read(&self.stage_calls[s as usize]),
+                    total_ns: read(&self.stage_ns[s as usize]),
+                })
+                .collect(),
+            counters: CounterId::ALL
+                .iter()
+                .map(|&c| (c.name(), read(&self.counters[c as usize])))
+                .collect(),
+            issues: IssueId::ALL
+                .iter()
+                .map(|&i| (i.name(), read(&self.issues[i as usize])))
+                .collect(),
+            gamma: Hist {
+                labels: &GAMMA_LABELS,
+                counts: self.gamma.iter().map(read).collect(),
+            },
+            dispersion: Hist {
+                labels: &DISPERSION_LABELS,
+                counts: self.dispersion.iter().map(read).collect(),
+            },
+            attempts: Hist {
+                labels: &ATTEMPT_LABELS,
+                counts: self.attempts.iter().map(read).collect(),
+            },
+        }
+    }
+}
+
+/// An open stage span; dropping it books one call plus the elapsed clock
+/// delta against the stage.
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct Span<'a> {
+    rec: &'a Recorder,
+    stage: StageId,
+    start_ns: u64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.rec.enabled {
+            let elapsed = self.rec.clock.now_ns().saturating_sub(self.start_ns);
+            let idx = self.stage as usize;
+            self.rec.stage_calls[idx].fetch_add(1, Ordering::Relaxed);
+            self.rec.stage_ns[idx].fetch_add(elapsed, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TickClock;
+
+    #[test]
+    fn disabled_recorder_stays_zero() {
+        let rec = Recorder::disabled();
+        rec.incr(CounterId::PacketsKept);
+        rec.record_gamma(1);
+        rec.record_dispersion(0.3);
+        rec.record_attempts(2);
+        rec.issue(IssueId::DeadAntenna, 3);
+        drop(rec.span(StageId::Capture));
+        let snap = rec.snapshot();
+        assert!(snap.counters.iter().all(|&(_, v)| v == 0));
+        assert!(snap.issues.iter().all(|&(_, v)| v == 0));
+        assert!(snap.stages.iter().all(|s| s.calls == 0 && s.total_ns == 0));
+    }
+
+    #[test]
+    fn counters_and_issues_accumulate() {
+        let rec = Recorder::enabled();
+        rec.add(CounterId::PacketsKept, 5);
+        rec.incr(CounterId::PacketsKept);
+        rec.issue(IssueId::ShortCapture, 2);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("packets_kept"), Some(6));
+        assert_eq!(
+            snap.issues.iter().find(|&&(n, _)| n == "short_capture"),
+            Some(&("short_capture", 2))
+        );
+    }
+
+    #[test]
+    fn span_books_calls_and_tick_durations() {
+        let rec = Recorder::with_clock(std::sync::Arc::new(TickClock::new(7)));
+        drop(rec.span(StageId::GammaResolution));
+        drop(rec.span(StageId::GammaResolution));
+        let snap = rec.snapshot();
+        let stage = snap
+            .stages
+            .iter()
+            .find(|s| s.stage == "gamma_resolution")
+            .unwrap();
+        assert_eq!(stage.calls, 2);
+        // Each span reads the tick clock twice → 7 ns per span.
+        assert_eq!(stage.total_ns, 14);
+    }
+
+    #[test]
+    fn null_clock_spans_cost_zero_ns() {
+        let rec = Recorder::enabled();
+        drop(rec.span(StageId::Capture));
+        let snap = rec.snapshot();
+        assert_eq!(snap.stages[0].calls, 1);
+        assert_eq!(snap.stages[0].total_ns, 0);
+    }
+
+    #[test]
+    fn gamma_buckets_clamp_at_edges() {
+        let rec = Recorder::enabled();
+        for g in [-9, -4, 0, 3, 4, 11] {
+            rec.record_gamma(g);
+        }
+        let counts = rec.snapshot().gamma.counts;
+        assert_eq!(counts[0], 2); // -9 and -4
+        assert_eq!(counts[4], 1); // 0
+        assert_eq!(counts[7], 1); // 3
+        assert_eq!(counts[8], 2); // 4 and 11
+    }
+
+    #[test]
+    fn dispersion_buckets_cover_nan_and_overflow() {
+        let rec = Recorder::enabled();
+        rec.record_dispersion(0.01);
+        rec.record_dispersion(0.3);
+        rec.record_dispersion(9.0);
+        rec.record_dispersion(f64::NAN);
+        let counts = rec.snapshot().dispersion.counts;
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[4], 1);
+        assert_eq!(counts[5], 2); // overflow + NaN both land in the open bucket
+    }
+
+    #[test]
+    fn attempts_bucket_saturates() {
+        let rec = Recorder::enabled();
+        rec.record_attempts(1);
+        rec.record_attempts(6);
+        rec.record_attempts(60);
+        let counts = rec.snapshot().attempts.counts;
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[5], 2);
+    }
+
+    #[test]
+    fn concurrent_adds_sum_exactly() {
+        let rec = std::sync::Arc::new(Recorder::enabled());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let rec = std::sync::Arc::clone(&rec);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        rec.incr(CounterId::PairsAttempted);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.snapshot().counter("pairs_attempted"), Some(4000));
+    }
+}

@@ -1,0 +1,635 @@
+//! Plain-data snapshots, stable-order JSON export, and a std-only JSON
+//! validator for CI.
+//!
+//! The export format is versioned (`"schema": "wimi-obs/1"`) and every
+//! field is emitted in a fixed canonical order with integer values only,
+//! so two snapshots of the same run are byte-identical — the determinism
+//! CI job diffs them across `WIMI_THREADS` settings.
+
+use std::fmt::Write as _;
+
+use crate::recorder::{
+    CounterId, IssueId, StageId, ATTEMPT_LABELS, DISPERSION_LABELS, GAMMA_LABELS,
+};
+
+/// Schema identifier stamped into every export.
+pub const SCHEMA: &str = "wimi-obs/1";
+
+/// Per-stage span totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStat {
+    /// Stable stage name (see [`StageId::name`]).
+    pub stage: &'static str,
+    /// Spans closed over this stage.
+    pub calls: u64,
+    /// Total nanoseconds booked (0 under the `NullClock`).
+    pub total_ns: u64,
+}
+
+/// A fixed-bucket histogram: parallel label/count slices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Bucket labels, canonical order.
+    pub labels: &'static [&'static str],
+    /// Bucket counts, same order as `labels`.
+    pub counts: Vec<u64>,
+}
+
+/// A point-in-time read of a `Recorder`: plain integers, no atomics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Span totals for all seven stages, pipeline order.
+    pub stages: Vec<StageStat>,
+    /// All counters, canonical order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// All issue tallies, canonical order.
+    pub issues: Vec<(&'static str, u64)>,
+    /// Resolved-γ distribution.
+    pub gamma: Hist,
+    /// Ω̄ cross-pair dispersion distribution.
+    pub dispersion: Hist,
+    /// Attempts consumed per logical measurement.
+    pub attempts: Hist,
+}
+
+impl Snapshot {
+    /// Looks up a counter by its snapshot name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Serialises to the versioned JSON export. Field order, whitespace
+    /// and integer formatting are all fixed, so equal snapshots produce
+    /// byte-identical text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            let comma = if i + 1 < self.stages.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"stage\": \"{}\", \"calls\": {}, \"total_ns\": {}}}{comma}",
+                s.stage, s.calls, s.total_ns
+            );
+        }
+        out.push_str("  ],\n");
+        write_int_object(&mut out, "counters", &self.counters, "  ");
+        out.push_str(",\n");
+        write_int_object(&mut out, "issues", &self.issues, "  ");
+        out.push_str(",\n  \"histograms\": {\n");
+        let hists = [
+            ("gamma", &self.gamma),
+            ("dispersion", &self.dispersion),
+            ("attempts", &self.attempts),
+        ];
+        for (i, (name, hist)) in hists.iter().enumerate() {
+            let comma = if i + 1 < hists.len() { "," } else { "" };
+            let labels: Vec<String> = hist.labels.iter().map(|l| format!("\"{l}\"")).collect();
+            let counts: Vec<String> = hist.counts.iter().map(|c| c.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "    \"{name}\": {{\"labels\": [{}], \"counts\": [{}]}}{comma}",
+                labels.join(", "),
+                counts.join(", ")
+            );
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Renders a human-readable run summary (the `wimi-report` style used
+    /// by the experiments binary). Deterministic for a given snapshot.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str("stage                   calls     total_ns\n");
+        for s in &self.stages {
+            let _ = writeln!(out, "{:<22} {:>7} {:>12}", s.stage, s.calls, s.total_ns);
+        }
+        out.push_str("counters:\n");
+        for &(name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<28} {v:>9}");
+        }
+        out.push_str("issues:\n");
+        for &(name, v) in &self.issues {
+            let _ = writeln!(out, "  {name:<28} {v:>9}");
+        }
+        for (name, hist) in [
+            ("gamma", &self.gamma),
+            ("dispersion", &self.dispersion),
+            ("attempts", &self.attempts),
+        ] {
+            let _ = write!(out, "{name}:");
+            for (label, count) in hist.labels.iter().zip(&hist.counts) {
+                let _ = write!(out, " {label}:{count}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn write_int_object(out: &mut String, name: &str, entries: &[(&str, u64)], indent: &str) {
+    let _ = writeln!(out, "{indent}\"{name}\": {{");
+    for (i, &(key, v)) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        let _ = writeln!(out, "{indent}  \"{key}\": {v}{comma}");
+    }
+    let _ = write!(out, "{indent}}}");
+}
+
+// ---------------------------------------------------------------------------
+// Validation: a minimal recursive-descent JSON parser (std-only,
+// panic-free) plus schema checks against the canonical name lists.
+// ---------------------------------------------------------------------------
+
+/// Validates an exported snapshot: well-formed JSON, the `wimi-obs/1`
+/// schema with every key present in canonical order, and all values
+/// finite non-negative integers (NaN/Infinity are impossible by
+/// construction and rejected by the parser).
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let value = parse(text)?;
+    let root = as_obj(&value, "root")?;
+    expect_keys(
+        root,
+        &["schema", "stages", "counters", "issues", "histograms"],
+        "root",
+    )?;
+    match field(root, "schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        _ => return Err(format!("\"schema\" must be the string \"{SCHEMA}\"")),
+    }
+
+    let Some(Json::Arr(stages)) = field(root, "stages") else {
+        return Err("\"stages\" must be an array".into());
+    };
+    if stages.len() != StageId::ALL.len() {
+        return Err(format!(
+            "\"stages\" must have {} entries, found {}",
+            StageId::ALL.len(),
+            stages.len()
+        ));
+    }
+    for (stage_id, entry) in StageId::ALL.iter().zip(stages) {
+        let obj = as_obj(entry, "stage entry")?;
+        expect_keys(obj, &["stage", "calls", "total_ns"], "stage entry")?;
+        match field(obj, "stage") {
+            Some(Json::Str(s)) if s == stage_id.name() => {}
+            _ => {
+                return Err(format!(
+                    "stage entries must appear in pipeline order; expected \"{}\"",
+                    stage_id.name()
+                ))
+            }
+        }
+        expect_u64(field(obj, "calls"), "stage calls")?;
+        expect_u64(field(obj, "total_ns"), "stage total_ns")?;
+    }
+
+    let counter_names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
+    expect_int_object(root, "counters", &counter_names)?;
+    let issue_names: Vec<&str> = IssueId::ALL.iter().map(|i| i.name()).collect();
+    expect_int_object(root, "issues", &issue_names)?;
+
+    let Some(Json::Obj(_)) = field(root, "histograms") else {
+        return Err("\"histograms\" must be an object".into());
+    };
+    let Some(hists) = field(root, "histograms").and_then(|v| match v {
+        Json::Obj(o) => Some(o),
+        _ => None,
+    }) else {
+        return Err("\"histograms\" must be an object".into());
+    };
+    expect_keys(hists, &["gamma", "dispersion", "attempts"], "histograms")?;
+    for (name, labels) in [
+        ("gamma", &GAMMA_LABELS[..]),
+        ("dispersion", &DISPERSION_LABELS[..]),
+        ("attempts", &ATTEMPT_LABELS[..]),
+    ] {
+        let obj = as_obj(
+            field(hists, name).unwrap_or(&Json::Null),
+            &format!("histogram \"{name}\""),
+        )?;
+        expect_keys(obj, &["labels", "counts"], &format!("histogram \"{name}\""))?;
+        let Some(Json::Arr(found_labels)) = field(obj, "labels") else {
+            return Err(format!("histogram \"{name}\" labels must be an array"));
+        };
+        if found_labels.len() != labels.len()
+            || found_labels
+                .iter()
+                .zip(labels)
+                .any(|(v, want)| !matches!(v, Json::Str(s) if s == want))
+        {
+            return Err(format!(
+                "histogram \"{name}\" labels differ from the canonical bucket set"
+            ));
+        }
+        let Some(Json::Arr(counts)) = field(obj, "counts") else {
+            return Err(format!("histogram \"{name}\" counts must be an array"));
+        };
+        if counts.len() != labels.len() {
+            return Err(format!(
+                "histogram \"{name}\" counts length {} != {} buckets",
+                counts.len(),
+                labels.len()
+            ));
+        }
+        for c in counts {
+            expect_u64(Some(c), &format!("histogram \"{name}\" count"))?;
+        }
+    }
+    Ok(())
+}
+
+/// Parsed JSON value. Numbers remember whether their source text was
+/// integral so the schema check needs no float comparisons.
+enum Json {
+    Null,
+    /// Carried only so `true`/`false` parse; the schema never uses them.
+    #[allow(dead_code)]
+    Bool(bool),
+    Num {
+        value: f64,
+        integral: bool,
+    },
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_obj<'a>(v: &'a Json, what: &str) -> Result<&'a Vec<(String, Json)>, String> {
+    match v {
+        Json::Obj(o) => Ok(o),
+        _ => Err(format!("{what} must be a JSON object")),
+    }
+}
+
+fn expect_keys(obj: &[(String, Json)], want: &[&str], what: &str) -> Result<(), String> {
+    let found: Vec<&str> = obj.iter().map(|(k, _)| k.as_str()).collect();
+    if found != want {
+        return Err(format!(
+            "{what} keys must be exactly {want:?} in order, found {found:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn expect_u64(v: Option<&Json>, what: &str) -> Result<u64, String> {
+    match v {
+        Some(&Json::Num { value, integral }) if integral && value >= 0.0 => {
+            if value > u64::MAX as f64 {
+                return Err(format!("{what} exceeds u64 range"));
+            }
+            Ok(value as u64)
+        }
+        _ => Err(format!("{what} must be a non-negative integer")),
+    }
+}
+
+fn expect_int_object(
+    root: &[(String, Json)],
+    name: &str,
+    want_keys: &[&str],
+) -> Result<(), String> {
+    let obj = as_obj(
+        field(root, name).unwrap_or(&Json::Null),
+        &format!("\"{name}\""),
+    )?;
+    expect_keys(obj, want_keys, &format!("\"{name}\""))?;
+    for (key, v) in obj {
+        expect_u64(Some(v), &format!("\"{name}\".\"{key}\""))?;
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: u32 = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing data after the top-level value"));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn fail(&self, msg: &str) -> String {
+        format!("invalid JSON at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_word(&mut self, word: &str) -> bool {
+        let end = self.pos + word.len();
+        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_word("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_word("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_word("null") => Ok(Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.fail("expected a value")),
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected an object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.fail("expected ':' after object key"));
+            }
+            let v = self.value(depth + 1)?;
+            entries.push((key, v));
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(Json::Obj(entries));
+            }
+            return Err(self.fail("expected ',' or '}' in object"));
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(Json::Arr(items));
+            }
+            return Err(self.fail("expected ',' or ']' in array"));
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // consume '"'
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'b') => s.push('\u{0008}'),
+                        Some(b'f') => s.push('\u{000C}'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            // Lenient on surrogates: the schema's strings
+                            // are ASCII names, so anything exotic maps to
+                            // the replacement character.
+                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            continue;
+                        }
+                        _ => return Err(self.fail("bad escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.fail("raw control byte in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.peek().is_some_and(|b| b & 0b1100_0000 == 0b1000_0000) {
+                        self.pos += 1;
+                    }
+                    if let Some(chunk) = self.bytes.get(start..self.pos) {
+                        s.push_str(std::str::from_utf8(chunk).unwrap_or("\u{FFFD}"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code: u32 = 0;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
+                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
+                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
+                _ => return Err(self.fail("bad \\u escape")),
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let negative = self.eat(b'-');
+        let mut integral = !negative;
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.fail("expected a digit"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            integral = false;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("expected a digit after '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            let _ = self.eat(b'+') || self.eat(b'-');
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.fail("bad number slice"))?;
+        let value: f64 = text.parse().map_err(|_| self.fail("unparseable number"))?;
+        if !value.is_finite() {
+            return Err(self.fail("number overflows f64 (NaN/Infinity are not valid JSON)"));
+        }
+        Ok(Json::Num { value, integral })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn fresh_snapshot_roundtrips_through_validator() {
+        let snap = Recorder::enabled().snapshot();
+        let json = snap.to_json();
+        validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn populated_snapshot_validates() {
+        let rec = Recorder::enabled();
+        rec.add(crate::CounterId::PacketsKept, 40);
+        rec.record_gamma(-1);
+        rec.record_dispersion(0.07);
+        rec.record_attempts(3);
+        rec.issue(crate::IssueId::DeadAntenna, 1);
+        drop(rec.span(crate::StageId::Screening));
+        validate_json(&rec.snapshot().to_json()).unwrap();
+    }
+
+    #[test]
+    fn export_is_reproducible_for_equal_recorders() {
+        let make = || {
+            let rec = Recorder::enabled();
+            rec.add(crate::CounterId::PairsResolved, 3);
+            rec.record_gamma(2);
+            rec.snapshot().to_json()
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_json() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("{} trailing").is_err());
+        assert!(validate_json("{\"a\": NaN}").is_err());
+        assert!(validate_json("{\"a\": Infinity}").is_err());
+        assert!(validate_json("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn validator_rejects_wrong_schema() {
+        let good = Recorder::enabled().snapshot().to_json();
+        let bad = good.replace("wimi-obs/1", "wimi-obs/0");
+        assert!(validate_json(&bad).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_missing_counter() {
+        let good = Recorder::enabled().snapshot().to_json();
+        let bad = good.replace("\"packets_kept\"", "\"packets_krept\"");
+        assert!(validate_json(&bad).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_non_integer_values() {
+        let good = Recorder::enabled().snapshot().to_json();
+        let bad = good.replacen("\"captures_taken\": 0", "\"captures_taken\": 0.5", 1);
+        assert!(validate_json(&bad).is_err());
+        let neg = good.replacen("\"captures_taken\": 0", "\"captures_taken\": -1", 1);
+        assert!(validate_json(&neg).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_reordered_stages() {
+        let good = Recorder::enabled().snapshot().to_json();
+        let bad = good.replacen("\"stage\": \"capture\"", "\"stage\": \"screening\"", 1);
+        assert!(validate_json(&bad).is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        assert!(validate_json("{\"schema\": \"x\"}").is_err()); // wrong keys, but parses
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(validate_json(&deep).is_err()); // depth-limited
+    }
+
+    #[test]
+    fn summary_lists_every_stage_and_counter() {
+        let text = Recorder::enabled().snapshot().summary();
+        for stage in StageId::ALL {
+            assert!(text.contains(stage.name()), "{}", stage.name());
+        }
+        for counter in CounterId::ALL {
+            assert!(text.contains(counter.name()), "{}", counter.name());
+        }
+    }
+}

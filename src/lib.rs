@@ -2,4 +2,5 @@
 pub use wimi_core as core;
 pub use wimi_dsp as dsp;
 pub use wimi_ml as ml;
+pub use wimi_obs as obs;
 pub use wimi_phy as phy;

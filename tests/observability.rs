@@ -1,0 +1,135 @@
+//! Integration tests for the wimi-obs observability layer: recording must
+//! never change pipeline output, and enabled-recorder snapshots must be
+//! byte-identical for any worker thread count.
+
+use std::sync::Arc;
+use wimi::core::{PairSelection, WiMi, WiMiConfig};
+use wimi::obs::{validate_json, CounterId, IssueId, Recorder};
+use wimi::phy::csi::{CsiCapture, CsiSource};
+use wimi::phy::material::Liquid;
+use wimi::phy::scenario::{Scenario, Simulator};
+use wimi_experiments::harness::{run_identification, Material, RunOptions};
+
+fn capture_pair(seed: u64, n: usize) -> (CsiCapture, CsiCapture) {
+    let mut sim = Simulator::new(Scenario::builder().build(), seed);
+    let base = sim.capture(n);
+    sim.set_liquid(Some(Liquid::Milk.into()));
+    let tar = sim.capture(n);
+    (base, tar)
+}
+
+/// Zeroes one subcarrier on one antenna in every packet.
+fn kill_subcarrier(cap: &CsiCapture, antenna: usize, subcarrier: usize) -> CsiCapture {
+    cap.iter()
+        .map(|p| {
+            let mut p = p.clone();
+            *p.get_mut(antenna, subcarrier) = wimi::phy::complex::Complex::ZERO;
+            p
+        })
+        .collect()
+}
+
+#[test]
+fn recording_never_changes_pipeline_output() {
+    let (base, tar) = capture_pair(11, 20);
+    let plain = WiMi::new(WiMiConfig::default());
+    let mut recorded = WiMi::new(WiMiConfig::default());
+    recorded.set_recorder(Some(Arc::new(Recorder::enabled())));
+    let a = plain.measure(&base, &tar);
+    let b = recorded.measure(&base, &tar);
+    assert_eq!(a, b, "recorder must be a pure observer");
+    // Training too: same model predictions with and without a recorder.
+    let materials = vec![
+        Material::catalog(Liquid::PureWater),
+        Material::catalog(Liquid::Honey),
+    ];
+    let opts = |rec: Option<Arc<Recorder>>| RunOptions {
+        n_train: 3,
+        n_test: 2,
+        packets: 10,
+        recorder: rec,
+        ..RunOptions::default()
+    };
+    let r_plain = run_identification(&materials, &opts(None));
+    let r_rec = run_identification(&materials, &opts(Some(Arc::new(Recorder::enabled()))));
+    assert_eq!(r_plain.confusion, r_rec.confusion);
+    assert_eq!(r_plain.dropped_trials, r_rec.dropped_trials);
+    let _ = plain;
+}
+
+#[test]
+fn snapshot_json_is_thread_count_invariant() {
+    let materials = vec![
+        Material::catalog(Liquid::PureWater),
+        Material::catalog(Liquid::Oil),
+    ];
+    let run = || {
+        let rec = Arc::new(Recorder::enabled());
+        let opts = RunOptions {
+            n_train: 3,
+            n_test: 2,
+            packets: 10,
+            recorder: Some(Arc::clone(&rec)),
+            ..RunOptions::default()
+        };
+        let _ = run_identification(&materials, &opts);
+        rec.snapshot().to_json()
+    };
+    std::env::set_var("WIMI_THREADS", "1");
+    let t1 = run();
+    std::env::set_var("WIMI_THREADS", "4");
+    let t4 = run();
+    std::env::remove_var("WIMI_THREADS");
+    assert_eq!(t1, t4, "snapshot must not depend on worker count");
+    validate_json(&t1).expect("snapshot validates against wimi-obs/1");
+}
+
+#[test]
+fn measurement_quality_flows_into_the_recorder() {
+    let (base, tar) = capture_pair(1, 40);
+    let base = kill_subcarrier(&base, 0, 5);
+    let tar = kill_subcarrier(&tar, 0, 5);
+    let rec = Arc::new(Recorder::enabled());
+    let mut wimi = WiMi::new(WiMiConfig {
+        pairs: PairSelection::Best,
+        ..WiMiConfig::default()
+    });
+    wimi.set_recorder(Some(Arc::clone(&rec)));
+    let m = wimi.measure(&base, &tar);
+    assert!(m.is_ok(), "dead subcarrier must not sink the measurement");
+
+    let snap = rec.snapshot();
+    let get = |name: &str| {
+        snap.counter(name)
+            .unwrap_or_else(|| panic!("counter {name}"))
+    };
+    assert_eq!(get("measurements_attempted"), 1);
+    assert_eq!(get("measurements_ok"), 1);
+    assert_eq!(get("subcarriers_rejected"), 1);
+    assert!(get("pairs_attempted") >= 1);
+    assert_eq!(
+        snap.issues[IssueId::RejectedSubcarriers as usize].1,
+        1,
+        "triage issue must tally under rejected_subcarriers"
+    );
+    // The γ and dispersion histograms saw exactly one feature.
+    assert_eq!(snap.gamma.counts.iter().sum::<u64>(), 1);
+    assert_eq!(snap.dispersion.counts.iter().sum::<u64>(), 1);
+}
+
+#[test]
+fn simulator_reports_captures_and_packets() {
+    let rec = Arc::new(Recorder::enabled());
+    let mut sim = Simulator::new(Scenario::builder().build(), 3);
+    sim.set_recorder(Some(Arc::clone(&rec)));
+    let a = sim.capture(7);
+    let b = sim.capture(5);
+    assert_eq!(a.len(), 7);
+    assert_eq!(b.len(), 5);
+    let snap = rec.snapshot();
+    assert_eq!(snap.counters[CounterId::CapturesTaken as usize].1, 2);
+    assert_eq!(snap.counters[CounterId::PacketsSimulated as usize].1, 12);
+    // With the deterministic null clock, capture spans cost zero ns.
+    assert_eq!(snap.stages[0].calls, 2);
+    assert_eq!(snap.stages[0].total_ns, 0);
+}

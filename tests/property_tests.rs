@@ -2,7 +2,7 @@
 //! geometry substrates.
 
 use proptest::prelude::*;
-use wimi::dsp::stats::{circular_resultant, mean, variance, wrap_to_pi};
+use wimi::dsp::stats::{circular_resultant, circular_std, mean, pearson, variance, wrap_to_pi};
 use wimi::dsp::wavelet::{swt_decompose, swt_reconstruct, Wavelet};
 use wimi::phy::geometry::{Cylinder, Point, Ray};
 use wimi::phy::material::{Permittivity, PropagationConstants};
@@ -40,6 +40,32 @@ proptest! {
     ) {
         let r = circular_resultant(&angles);
         prop_assert!((0.0..=1.0 + 1e-12).contains(&r));
+    }
+
+    #[test]
+    fn circular_std_never_nan_on_finite_input(
+        angles in proptest::collection::vec(-10.0f64..10.0, 1..200),
+    ) {
+        // Regression: a resultant rounded above 1 made √(−2·ln R) NaN.
+        let s = circular_std(&angles);
+        prop_assert!(s.is_finite() && s >= 0.0, "std = {s}");
+        // Identical angles are the worst case for the rounding overflow.
+        let aligned = vec![angles[0]; angles.len().max(2)];
+        let s = circular_std(&aligned);
+        prop_assert!(s.is_finite() && s >= 0.0, "aligned std = {s}");
+    }
+
+    #[test]
+    fn pearson_never_nan_on_finite_input(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..100),
+        constant in -100.0f64..100.0,
+    ) {
+        // Regression: a constant series divided by zero and returned NaN.
+        let ys: Vec<f64> = vec![constant; xs.len()];
+        let r = pearson(&xs, &ys);
+        prop_assert!(r.is_finite(), "constant series gave {r}");
+        let r = pearson(&xs, &xs);
+        prop_assert!(r.is_finite() && r.abs() <= 1.0 + 1e-12, "self-corr {r}");
     }
 
     #[test]
