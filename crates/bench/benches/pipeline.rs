@@ -98,6 +98,52 @@ fn bench_batch_identification(c: &mut Criterion) {
                 std::env::remove_var("WIMI_THREADS");
             },
         );
+        // Same workload with recorder AND flight-recorder trace sink
+        // enabled: the delta against the plain variant is the full
+        // observability overhead (budget: < 5%).
+        group.bench_with_input(
+            BenchmarkId::new("run_identification_3x4_traced", threads),
+            &threads,
+            |b, &t| {
+                std::env::set_var("WIMI_THREADS", t.to_string());
+                b.iter(|| {
+                    let opts = RunOptions {
+                        n_train: 4,
+                        n_test: 2,
+                        packets: 10,
+                        recorder: Some(std::sync::Arc::new(wimi_obs::Recorder::enabled())),
+                        trace: Some(wimi_trace::TraceSink::enabled()),
+                        ..RunOptions::default()
+                    };
+                    black_box(run_identification(&materials, &opts).accuracy())
+                });
+                std::env::remove_var("WIMI_THREADS");
+            },
+        );
+        // Disabled-sink contract: attaching TraceSink::disabled() must
+        // emit zero events, so this variant's cost is one branch per
+        // emission site over the plain run.
+        group.bench_with_input(
+            BenchmarkId::new("run_identification_3x4_trace_disabled", threads),
+            &threads,
+            |b, &t| {
+                std::env::set_var("WIMI_THREADS", t.to_string());
+                b.iter(|| {
+                    let sink = wimi_trace::TraceSink::disabled();
+                    let opts = RunOptions {
+                        n_train: 4,
+                        n_test: 2,
+                        packets: 10,
+                        trace: Some(std::sync::Arc::clone(&sink)),
+                        ..RunOptions::default()
+                    };
+                    let acc = run_identification(&materials, &opts).accuracy();
+                    assert_eq!(sink.events_emitted(), 0, "disabled sink must stay silent");
+                    black_box(acc)
+                });
+                std::env::remove_var("WIMI_THREADS");
+            },
+        );
     }
     group.finish();
 }

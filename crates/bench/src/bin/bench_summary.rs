@@ -1,7 +1,9 @@
-//! Writes `BENCH_PR1.json` at the repo root: wall-clock timings of the
-//! hot pipeline stages, comparing the cached simulator against the
-//! forced-recompute path and single- against multi-threaded
-//! identification runs.
+//! Writes `BENCH_PR5.json` at the repo root: wall-clock timings of the
+//! hot pipeline stages (cached vs forced-recompute simulator, 1 vs 4
+//! worker threads) plus the `work_budgets` section — deterministic work
+//! counters of the shared trace campaign that `wimi-trace budget` gates
+//! CI against. The budgets are schedule-independent, so they hold
+//! exactly on any host; only the `*_s` timings vary.
 //!
 //! Run from the workspace root with
 //! `cargo run --release -p wimi-bench --bin bench_summary`.
@@ -10,6 +12,8 @@
 
 use std::time::Instant;
 use wimi_experiments::harness::{run_identification, Material, RunOptions};
+use wimi_experiments::trace::{render_artifact, trace_campaign};
+use wimi_experiments::Effort;
 use wimi_phy::csi::CsiSource;
 use wimi_phy::material::Liquid;
 use wimi_phy::scenario::{Scenario, Simulator};
@@ -71,6 +75,25 @@ fn main() {
     let ident_1 = run_with_threads(1);
     let ident_4 = run_with_threads(4);
 
+    // Deterministic work budgets: the exact counters the shared trace
+    // campaign produces today. `wimi-trace budget` fails CI if any run
+    // ever does MORE work than this — a silent perf/coverage regression.
+    let campaign = trace_campaign(Effort::quick());
+    render_artifact(&campaign).expect("trace artifact must self-validate");
+    let snap = campaign.recorder.snapshot();
+    let budget = |name: &str| -> u64 {
+        snap.counter(name)
+            .unwrap_or_else(|| panic!("campaign snapshot has no counter {name}"))
+    };
+    let budgets: Vec<(&str, u64)> = vec![
+        ("trace_events", campaign.sink.events_emitted()),
+        ("captures_taken", budget("captures_taken")),
+        ("packets_simulated", budget("packets_simulated")),
+        ("measurements_attempted", budget("measurements_attempted")),
+        ("pairs_resolved", budget("pairs_resolved")),
+        ("svm_machines_trained", budget("svm_machines_trained")),
+    ];
+
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -87,8 +110,14 @@ fn main() {
     json_field(&mut out, "    ", "threads_1_s", ident_1, false);
     json_field(&mut out, "    ", "threads_4_s", ident_4, false);
     json_field(&mut out, "    ", "speedup", ident_1 / ident_4, true);
+    out.push_str("  },\n");
+    out.push_str("  \"work_budgets\": {\n");
+    for (i, (name, value)) in budgets.iter().enumerate() {
+        let comma = if i + 1 == budgets.len() { "" } else { "," };
+        out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
     out.push_str("  }\n}\n");
 
-    std::fs::write("BENCH_PR1.json", &out).expect("write BENCH_PR1.json");
+    std::fs::write("BENCH_PR5.json", &out).expect("write BENCH_PR5.json");
     print!("{out}");
 }

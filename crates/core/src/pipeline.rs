@@ -23,6 +23,7 @@ use wimi_ml::scale::StandardScaler;
 use wimi_ml::svm::SvmParams;
 use wimi_obs::{CounterId, IssueId, Recorder, StageId};
 use wimi_phy::csi::CsiCapture;
+use wimi_trace::{Ctx, TraceEvent, TraceSink};
 
 /// An antenna whose rows are all-zero in more than this fraction of a
 /// capture's finite packets is treated as dead and dropped for the whole
@@ -151,6 +152,11 @@ pub struct WiMi {
     /// `None` (the default) costs one branch per measurement. Recording
     /// never changes any pipeline output.
     recorder: Option<Arc<Recorder>>,
+    /// Optional flight-recorder sink; ordered per-task events flow here.
+    /// Events are only emitted from calling-thread code — never from
+    /// inside the pair fan-out — so traces stay deterministic under any
+    /// `WIMI_THREADS` setting. Tracing never changes any pipeline output.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl WiMi {
@@ -162,6 +168,7 @@ impl WiMi {
             scaler: None,
             model: None,
             recorder: None,
+            trace: None,
         }
     }
 
@@ -175,6 +182,19 @@ impl WiMi {
     /// The attached recorder, if any.
     pub fn recorder(&self) -> Option<&Arc<Recorder>> {
         self.recorder.as_ref()
+    }
+
+    /// Attaches (or detaches) a flight-recorder trace sink. Measurements,
+    /// training, and classification then emit ordered events into the
+    /// caller's current [`wimi_trace::TaskKey`] scope; outputs stay
+    /// bit-identical.
+    pub fn set_trace(&mut self, trace: Option<Arc<TraceSink>>) {
+        self.trace = trace;
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
     }
 
     /// The active configuration.
@@ -230,6 +250,9 @@ impl WiMi {
         if let Some(rec) = &self.recorder {
             record_measurement(rec, &m);
         }
+        if let Some(trace) = &self.trace {
+            trace_measurement(trace, &m);
+        }
         m
     }
 
@@ -256,6 +279,7 @@ impl WiMi {
 
         let screened = {
             let _span = self.recorder.as_ref().map(|r| r.span(StageId::Screening));
+            let _trace_span = self.trace.as_ref().map(|t| t.span(StageId::Screening));
             match screen(baseline, target, &mut quality) {
                 Ok(s) => s,
                 Err(e) => return failed(quality, e),
@@ -392,6 +416,10 @@ impl WiMi {
             .recorder
             .as_ref()
             .map(|r| r.span(StageId::GammaResolution));
+        let _trace_span = self
+            .trace
+            .as_ref()
+            .map(|t| t.span(StageId::GammaResolution));
         MaterialFeature::extract_joint_with_diag(&inputs, &self.config.feature)
     }
 
@@ -486,11 +514,12 @@ impl WiMi {
             scaled.push(scaler.transform_one(x), y);
         }
         let mut rng = StdRng::seed_from_u64(self.config.train_seed);
-        let model = MulticlassSvm::train_recorded(
+        let model = MulticlassSvm::train_observed(
             &scaled,
             &self.config.svm,
             &mut rng,
             self.recorder.as_deref(),
+            self.trace.as_deref(),
         );
         self.class_names = ds.class_names().to_vec();
         self.scaler = Some(scaler);
@@ -515,6 +544,7 @@ impl WiMi {
             .recorder
             .as_ref()
             .map(|r| r.span(StageId::Classification));
+        let _trace_span = self.trace.as_ref().map(|t| t.span(StageId::Classification));
         let label = model.predict(&scaler.transform_one(&feature.as_vector()));
         Ok(Identification {
             material: self.class_names[label].clone(),
@@ -535,6 +565,7 @@ impl WiMi {
             .recorder
             .as_ref()
             .map(|r| r.span(StageId::Classification));
+        let _trace_span = self.trace.as_ref().map(|t| t.span(StageId::Classification));
         Ok(model.predict(&scaler.transform_one(&feature.as_vector())))
     }
 }
@@ -570,6 +601,116 @@ fn record_measurement(rec: &Recorder, m: &Measurement) {
     if let Ok(f) = &m.feature {
         rec.record_gamma(f.gamma);
         rec.record_dispersion(f.dispersion);
+    }
+}
+
+/// Folds one finished measurement into the flight recorder as *ordered*
+/// events, mirroring [`record_measurement`]'s aggregates plus the
+/// locating context the aggregates throw away (which antenna died, how
+/// many packets a triage decision dropped, where extraction failed).
+///
+/// Runs on the calling thread after the pair fan-out has joined, so
+/// every event lands in the caller's current task scope in a
+/// deterministic order regardless of `WIMI_THREADS`.
+fn trace_measurement(trace: &Arc<TraceSink>, m: &Measurement) {
+    let q = &m.quality;
+    trace.emit(TraceEvent::Count {
+        counter: CounterId::MeasurementsAttempted,
+        delta: 1,
+    });
+    trace.emit(TraceEvent::Count {
+        counter: if m.is_ok() {
+            CounterId::MeasurementsOk
+        } else {
+            CounterId::MeasurementsFailed
+        },
+        delta: 1,
+    });
+    if q.salvaged() {
+        trace.emit(TraceEvent::Count {
+            counter: CounterId::MeasurementsSalvaged,
+            delta: 1,
+        });
+    }
+    let total = (q.baseline_packets_total + q.target_packets_total) as u64;
+    let kept = (q.baseline_packets_kept + q.target_packets_kept) as u64;
+    let dropped = total.saturating_sub(kept);
+    trace.emit(TraceEvent::Count {
+        counter: CounterId::PacketsKept,
+        delta: kept,
+    });
+    if dropped > 0 {
+        trace.emit(TraceEvent::Salvage {
+            action: "drop_bad_packets",
+            count: dropped,
+        });
+    }
+    if !q.antennas_dropped.is_empty() {
+        trace.emit(TraceEvent::Salvage {
+            action: "drop_dead_antenna",
+            count: q.antennas_dropped.len() as u64,
+        });
+    }
+    trace.emit(TraceEvent::Count {
+        counter: CounterId::PairsAttempted,
+        delta: q.pairs_attempted as u64,
+    });
+    trace.emit(TraceEvent::Count {
+        counter: CounterId::PairsResolved,
+        delta: q.pairs_resolved as u64,
+    });
+    for issue in &q.issues {
+        let (count, ctx) = issue_detail(&issue.kind);
+        trace.emit(TraceEvent::Issue {
+            issue: issue_id(&issue.kind),
+            count,
+            ctx,
+        });
+    }
+    match &m.feature {
+        Ok(f) => trace.emit(TraceEvent::Feature {
+            pairs: q.pairs_resolved as u32,
+            gamma_min: f.gamma,
+            gamma_max: f.gamma,
+            dispersion: f.dispersion,
+        }),
+        Err(e) => trace.emit(TraceEvent::Failed {
+            stage: stage_to_id(stage_of(e)),
+            issue: IssueId::Extraction,
+        }),
+    }
+}
+
+/// The occurrence count and locating context a [`QualityReport`] issue
+/// carries into its trace event.
+fn issue_detail(kind: &IssueKind) -> (u64, Ctx) {
+    match kind {
+        IssueKind::NonFinitePackets { dropped } | IssueKind::PartialDropout { dropped } => {
+            (*dropped as u64, Ctx::NONE)
+        }
+        IssueKind::DeadAntenna { antenna } => (1, Ctx::antenna(*antenna as u32)),
+        IssueKind::ShortCapture { kept, .. } => (1, Ctx::packet(*kept as u32)),
+        IssueKind::RejectedSubcarriers { count } => (*count as u64, Ctx::NONE),
+        IssueKind::PairsUnresolved {
+            attempted,
+            resolved,
+        } => (attempted.saturating_sub(*resolved) as u64, Ctx::NONE),
+        IssueKind::Extraction(FeatureError::AntennaFailed { antenna }) => {
+            (1, Ctx::antenna(*antenna as u32))
+        }
+        IssueKind::Extraction(_) => (1, Ctx::NONE),
+    }
+}
+
+/// The observability stage id a pipeline [`Stage`] maps to.
+fn stage_to_id(stage: Stage) -> StageId {
+    match stage {
+        Stage::Screening => StageId::Screening,
+        Stage::PhaseCalibration => StageId::PhaseCalibration,
+        Stage::SubcarrierSelection => StageId::SubcarrierSelection,
+        Stage::AmplitudeDenoising => StageId::AmplitudeDenoising,
+        Stage::GammaResolution => StageId::GammaResolution,
+        Stage::Classification => StageId::Classification,
     }
 }
 

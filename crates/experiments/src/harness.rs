@@ -13,6 +13,7 @@ use wimi_phy::fault::FaultPlan;
 use wimi_phy::material::{Liquid, SaltwaterConcentration, LIQUIDS};
 use wimi_phy::scenario::{LiquidSpec, Scenario, ScenarioBuilder, Simulator};
 use wimi_phy::units::Meters;
+use wimi_trace::{task_scope, TaskKey, TraceEvent, TraceSink};
 
 /// A material under test: display name plus its dielectric spec.
 #[derive(Debug, Clone)]
@@ -122,6 +123,11 @@ pub struct RunOptions {
     /// recorded aggregates are order-independent, so runs stay
     /// thread-count invariant with a recorder attached.
     pub recorder: Option<Arc<Recorder>>,
+    /// Optional flight-recorder trace sink shared the same way (`None` =
+    /// no tracing). Each measurement's events are scoped to a
+    /// [`wimi_trace::TaskKey`] derived from its seed, so rendered traces
+    /// are byte-identical for any `WIMI_THREADS` setting.
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for RunOptions {
@@ -137,6 +143,7 @@ impl Default for RunOptions {
             retry: RetryPolicy::default(),
             fault: None,
             recorder: None,
+            trace: None,
         }
     }
 }
@@ -191,6 +198,7 @@ pub fn capture_pair(
         modify,
         None,
         None,
+        None,
     )
 }
 
@@ -208,6 +216,7 @@ pub fn capture_pair_faulted(
     modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
     fault: Option<&FaultPlan>,
     recorder: Option<&Arc<Recorder>>,
+    trace: Option<&Arc<TraceSink>>,
 ) -> (CsiCapture, CsiCapture) {
     let mut builder = Scenario::builder();
     builder.environment(environment);
@@ -218,6 +227,7 @@ pub fn capture_pair_faulted(
         sim.set_fault_plan(Some(plan.clone().with_seed(plan.seed() ^ seed)));
     }
     sim.set_recorder(recorder.cloned());
+    sim.set_trace(trace.cloned());
     let baseline = sim.capture(packets);
     sim.set_liquid(Some(spec.clone()));
     let target = sim.capture(packets);
@@ -243,7 +253,20 @@ pub fn measure(
     let mut placement = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
     let mut stats = MeasureStats::default();
     let rec = opts.recorder.as_ref();
-    for attempt in 0..opts.retry.allowed_attempts(opts.packets) {
+    let trace = opts.trace.as_ref();
+    // All of this measurement's trace events — captures, screening,
+    // extraction, retries — land in one task keyed by the seed, the same
+    // identity the deterministic fan-out uses, so the rendered trace does
+    // not depend on which worker thread ran it.
+    let _task = trace.map(|_| task_scope(TaskKey::measurement(seed)));
+    let allowed = opts.retry.allowed_attempts(opts.packets);
+    for attempt in 0..allowed {
+        if let Some(t) = trace {
+            t.emit(TraceEvent::Attempt {
+                attempt: attempt as u32 + 1,
+                max: allowed as u32,
+            });
+        }
         let offset_cm = 1.0 + placement.gen_range(-0.5..0.5);
         let (base, tar) = capture_pair_faulted(
             spec,
@@ -254,6 +277,7 @@ pub fn measure(
             opts.modify.as_ref(),
             opts.fault.as_ref(),
             rec,
+            trace,
         );
         stats.packets_spent += 2 * opts.packets;
         let m = extractor.measure(&base, &tar);
@@ -273,6 +297,12 @@ pub fn measure(
         rec.add(CounterId::Retries, stats.rejected.saturating_sub(1) as u64);
         rec.record_attempts(stats.rejected as u64);
     }
+    if let Some(t) = trace {
+        t.emit(TraceEvent::RetriesExhausted {
+            attempts: allowed as u32,
+        });
+        t.mark_failure();
+    }
     (None, stats)
 }
 
@@ -286,6 +316,7 @@ pub fn measure(
 pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResult {
     let mut extractor = WiMi::new(opts.config.clone());
     extractor.set_recorder(opts.recorder.clone());
+    extractor.set_trace(opts.trace.clone());
     let class_names: Vec<String> = materials.iter().map(|m| m.name.clone()).collect();
 
     let mut dropped = 0usize;
@@ -322,6 +353,7 @@ pub fn run_identification(materials: &[Material], opts: &RunOptions) -> RunResul
 
     let mut wimi = WiMi::new(opts.config.clone());
     wimi.set_recorder(opts.recorder.clone());
+    wimi.set_trace(opts.trace.clone());
     wimi.train_on_dataset(&train);
 
     // Test set.

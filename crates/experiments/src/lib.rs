@@ -20,6 +20,7 @@ pub mod features;
 pub mod harness;
 pub mod microbench;
 pub mod obs;
+pub mod trace;
 
 pub use accuracy::Effort;
 
@@ -50,6 +51,7 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
         "flow" => ablation::robustness_flowing_liquid(),
         "degradation" => degradation::degradation(effort),
         "obs-report" => obs::obs_report(effort, None, false),
+        "trace-report" => trace::trace_report(effort, None),
         "environments" => ablation::environments(effort),
         _ => return false,
     }
@@ -57,7 +59,7 @@ pub fn run_named(name: &str, effort: Effort) -> bool {
 }
 
 /// Every experiment name, in report order.
-pub const ALL_EXPERIMENTS: [&str; 24] = [
+pub const ALL_EXPERIMENTS: [&str; 25] = [
     "fig2",
     "fig3",
     "fig6",
@@ -82,6 +84,7 @@ pub const ALL_EXPERIMENTS: [&str; 24] = [
     "flow",
     "degradation",
     "obs-report",
+    "trace-report",
 ];
 
 #[cfg(test)]

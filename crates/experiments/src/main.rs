@@ -1,15 +1,39 @@
 //! CLI entry point: `cargo run -p wimi-experiments --release -- all`.
 
-use wimi_experiments::{obs, run_named, Effort, ALL_EXPERIMENTS};
+use wimi_experiments::{obs, run_named, trace, Effort, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: wimi-experiments [--quick] [--obs-json PATH] [--obs-wall] \
+        "usage: wimi-experiments [--quick] [--obs-json PATH] [--obs-wall] [--trace-out PATH] \
          all | environments | <name>...\n       \
-         wimi-experiments obs-validate PATH"
+         wimi-experiments obs-validate PATH\n       \
+         wimi-experiments trace-diff A B"
     );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
     std::process::exit(2);
+}
+
+/// Splits `args` into value-flag assignments and positional names. The
+/// obs and trace layers share this one surface: every `--flag PATH` pair
+/// listed in `value_flags` is consumed uniformly.
+fn parse_args<'a>(
+    args: &'a [String],
+    value_flags: &[&str],
+) -> (Vec<(&'a str, &'a str)>, Vec<&'a str>) {
+    let mut values = Vec::new();
+    let mut names = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if value_flags.contains(&a.as_str()) {
+            match it.next() {
+                Some(v) => values.push((a.as_str(), v.as_str())),
+                None => usage(),
+            }
+        } else if !a.starts_with("--") {
+            names.push(a.as_str());
+        }
+    }
+    (values, names)
 }
 
 fn main() {
@@ -22,30 +46,27 @@ fn main() {
         Effort::full()
     };
 
-    // `--obs-json` consumes a value; everything else non-flag is a name.
-    let mut obs_json: Option<String> = None;
-    let mut names: Vec<&str> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        if a == "--obs-json" {
-            match it.next() {
-                Some(p) => obs_json = Some(p.clone()),
-                None => usage(),
-            }
-        } else if !a.starts_with("--") {
-            names.push(a.as_str());
-        }
-    }
+    let (values, names) = parse_args(&args, &["--obs-json", "--trace-out"]);
+    let flag = |name: &str| values.iter().find(|(f, _)| *f == name).map(|&(_, v)| v);
+    let obs_json = flag("--obs-json");
+    let trace_out = flag("--trace-out");
 
     if names.is_empty() || names == ["help"] {
         usage();
     }
 
-    // Validation subcommand: no experiments run, just the schema check.
+    // Validation/diff subcommands: no experiments run.
     if names[0] == "obs-validate" {
         match names.get(1) {
             Some(path) => obs::obs_validate(path),
             None => usage(),
+        }
+        return;
+    }
+    if names[0] == "trace-diff" {
+        match (names.get(1), names.get(2)) {
+            (Some(a), Some(b)) => trace::trace_diff(a, b),
+            _ => usage(),
         }
         return;
     }
@@ -58,10 +79,14 @@ fn main() {
         assert!(run_named("environments", effort));
     } else {
         for name in &names {
-            // The obs report takes CLI-only options (JSON export path,
-            // wall-clock timings) that `run_named` cannot carry.
+            // The obs and trace reports take CLI-only options (export
+            // paths, wall-clock timings) that `run_named` cannot carry.
             if *name == "obs-report" {
-                obs::obs_report(effort, obs_json.as_deref(), obs_wall);
+                obs::obs_report(effort, obs_json, obs_wall);
+                continue;
+            }
+            if *name == "trace-report" {
+                trace::trace_report(effort, trace_out);
                 continue;
             }
             if !run_named(name, effort) {

@@ -412,6 +412,9 @@ pub struct Simulator {
     /// Optional observability sink; `None` costs nothing on the packet
     /// path. Never influences simulation output.
     recorder: Option<std::sync::Arc<wimi_obs::Recorder>>,
+    /// Optional flight-recorder sink mirroring `recorder` as ordered
+    /// events (same zero-cost-when-`None` contract).
+    trace: Option<std::sync::Arc<wimi_trace::TraceSink>>,
 }
 
 /// Static multipath path gains for every (antenna, subcarrier) of a
@@ -485,6 +488,7 @@ impl Simulator {
             fault: None,
             captures_taken: 0,
             recorder: None,
+            trace: None,
         }
     }
 
@@ -493,6 +497,14 @@ impl Simulator {
     /// counters; simulation output is bit-identical either way.
     pub fn set_recorder(&mut self, recorder: Option<std::sync::Arc<wimi_obs::Recorder>>) {
         self.recorder = recorder;
+    }
+
+    /// Attaches (or detaches) a flight-recorder trace sink. Captures then
+    /// emit ordered capture span and counter events against the calling
+    /// thread's current task; simulation output is bit-identical either
+    /// way.
+    pub fn set_trace(&mut self, trace: Option<std::sync::Arc<wimi_trace::TraceSink>>) {
+        self.trace = trace;
     }
 
     /// The scenario being simulated.
@@ -673,6 +685,8 @@ impl CsiSource for Simulator {
         let _span = recorder
             .as_ref()
             .map(|r| r.span(wimi_obs::StageId::Capture));
+        let trace = self.trace.clone();
+        let _trace_span = trace.as_ref().map(|t| t.span(wimi_obs::StageId::Capture));
         let mut packets = Vec::with_capacity(n_packets);
         for _ in 0..n_packets {
             packets.push(self.packet());
@@ -683,6 +697,16 @@ impl CsiSource for Simulator {
         if let Some(rec) = &self.recorder {
             rec.incr(wimi_obs::CounterId::CapturesTaken);
             rec.add(wimi_obs::CounterId::PacketsSimulated, n_packets as u64);
+        }
+        if let Some(t) = &self.trace {
+            t.emit(wimi_trace::TraceEvent::Count {
+                counter: wimi_obs::CounterId::CapturesTaken,
+                delta: 1,
+            });
+            t.emit(wimi_trace::TraceEvent::Count {
+                counter: wimi_obs::CounterId::PacketsSimulated,
+                delta: n_packets as u64,
+            });
         }
         match &self.fault {
             Some(plan) if !plan.is_identity() => plan.apply(&clean, nonce),

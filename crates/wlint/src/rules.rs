@@ -14,7 +14,7 @@ use crate::lexer::{lex, Pragma, Tok, Token};
 /// The library crates whose non-test code must stay panic-free and
 /// wall-clock-free: errors flow through the `wimi_core::error` taxonomy and
 /// results must be bitwise reproducible under any thread count.
-pub const LIBRARY_CRATES: [&str; 5] = ["wiphy", "wdsp", "wml", "core", "wobs"];
+pub const LIBRARY_CRATES: [&str; 6] = ["wiphy", "wdsp", "wml", "core", "wobs", "wtrace"];
 
 /// Crates whose public `f64` parameters must use the `units.rs` newtypes
 /// when dimensionally named.

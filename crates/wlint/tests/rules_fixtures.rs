@@ -129,6 +129,27 @@ fn panic_rule_is_scoped_to_library_crates() {
 }
 
 #[test]
+fn wtrace_is_covered_as_a_library_crate() {
+    // The flight-recorder crate ships in the deterministic hot path, so
+    // the panic-freedom and wall-clock rules must fire there exactly as
+    // they do for the other library crates.
+    for rule_name in ["panic", "wall-clock"] {
+        let bad = lint_source("crates/wtrace/src/fixture.rs", &fixture(rule_name, "bad"));
+        assert!(
+            !bad.violations.is_empty(),
+            "{rule_name}/bad.rs must fire inside wtrace; got {:?}",
+            bad.violations
+        );
+        let clean = lint_source("crates/wtrace/src/fixture.rs", &fixture(rule_name, "clean"));
+        assert!(
+            clean.violations.is_empty(),
+            "{rule_name}/clean.rs must pass inside wtrace; got {:?}",
+            clean.violations
+        );
+    }
+}
+
+#[test]
 fn float_cast_rule_is_scoped_to_quantisation_files() {
     let bad = fixture("float-cast", "bad");
     let elsewhere = lint_source("crates/wiphy/src/fixture.rs", &bad);

@@ -67,6 +67,26 @@ impl MulticlassSvm {
         rng: &mut R,
         recorder: Option<&wimi_obs::Recorder>,
     ) -> Self {
+        Self::train_observed(ds, params, rng, recorder, None)
+    }
+
+    /// Like [`MulticlassSvm::train_recorded`], but additionally emits one
+    /// ordered [`wimi_trace::TraceEvent::SvmMachine`] per one-vs-one
+    /// machine into `trace`. Each machine's events are scoped to its own
+    /// [`wimi_trace::TaskKey`] (keyed by the class pair), so the rendered
+    /// trace is byte-identical under any `WIMI_THREADS` setting. Training
+    /// output is bit-identical with or without observers.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`MulticlassSvm::train`].
+    pub fn train_observed<R: Rng + ?Sized>(
+        ds: &Dataset,
+        params: &SvmParams,
+        rng: &mut R,
+        recorder: Option<&wimi_obs::Recorder>,
+        trace: Option<&wimi_trace::TraceSink>,
+    ) -> Self {
         let _span = recorder.map(|r| r.span(wimi_obs::StageId::Classification));
         let counts = ds.class_counts();
         let populated = counts.iter().filter(|&&c| c > 0).count();
@@ -85,6 +105,11 @@ impl MulticlassSvm {
             }
         }
         let machines = crate::par::map(&jobs, |_, &(a, b, seed)| {
+            // Each machine is one deterministic trace task: scoping by
+            // the class pair (not the worker thread) keeps the rendered
+            // trace identical under any WIMI_THREADS setting.
+            let _task =
+                trace.map(|_| wimi_trace::task_scope(wimi_trace::TaskKey::svm_machine(a, b)));
             // Borrowed feature views: the one-vs-one subset is gathered
             // without cloning any sample.
             let mut xs: Vec<&[f64]> = Vec::with_capacity(counts[a] + counts[b]);
@@ -100,13 +125,27 @@ impl MulticlassSvm {
                 }
             }
             let mut machine_rng = StdRng::seed_from_u64(seed);
-            (a, b, BinarySvm::train(&xs, &ys, params, &mut machine_rng))
+            let machine = BinarySvm::train(&xs, &ys, params, &mut machine_rng);
+            if let Some(t) = trace {
+                t.emit(wimi_trace::TraceEvent::SvmMachine {
+                    class_a: a as u32,
+                    class_b: b as u32,
+                    rounds: machine.iterations() as u64,
+                });
+            }
+            (a, b, machine)
         });
         if let Some(rec) = recorder {
             rec.add(
                 wimi_obs::CounterId::SvmMachinesTrained,
                 machines.len() as u64,
             );
+        }
+        if let Some(t) = trace {
+            t.emit(wimi_trace::TraceEvent::Count {
+                counter: wimi_obs::CounterId::SvmMachinesTrained,
+                delta: machines.len() as u64,
+            });
         }
         MulticlassSvm {
             machines,

@@ -83,6 +83,7 @@ pub struct BinarySvm {
     coefficients: Vec<f64>, // αᵢ·yᵢ for each support vector
     bias: f64,
     kernel: Kernel,
+    iterations: usize,
 }
 
 impl BinarySvm {
@@ -222,7 +223,14 @@ impl BinarySvm {
             coefficients,
             bias: b,
             kernel: params.kernel,
+            iterations: iter,
         }
+    }
+
+    /// Optimisation sweeps the SMO loop ran before converging (or hitting
+    /// the iteration cap). Deterministic for a seeded RNG.
+    pub fn iterations(&self) -> usize {
+        self.iterations
     }
 
     /// Signed decision value `Σ αᵢyᵢ·K(xᵢ, x) + b`.

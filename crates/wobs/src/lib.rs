@@ -52,9 +52,10 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod json;
 pub mod recorder;
 pub mod snapshot;
 
 pub use clock::{Clock, NullClock, TickClock};
 pub use recorder::{CounterId, IssueId, Recorder, Span, StageId};
-pub use snapshot::{validate_json, Hist, Snapshot, StageStat, SCHEMA};
+pub use snapshot::{validate_json, validate_value, Hist, Snapshot, StageStat, SCHEMA};

@@ -318,23 +318,32 @@ impl Recorder {
     }
 
     /// Records a resolved γ (phase wrap count) into the γ histogram.
+    /// Any `i32` is safe: values beyond the bucket range clamp into the
+    /// end buckets (widened to i64 first, so `i32::MAX` cannot overflow
+    /// the `+ 4` shift).
     #[inline]
     pub fn record_gamma(&self, gamma: i32) {
         if self.enabled {
-            let idx = (gamma + 4).clamp(0, 8) as usize;
+            let idx = (i64::from(gamma) + 4).clamp(0, 8) as usize;
             self.gamma[idx].fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Records an Ω̄ cross-pair dispersion into its histogram. Non-finite
-    /// values land in the open top bucket.
+    /// Records an Ω̄ cross-pair dispersion into its histogram.
+    /// Dispersion is a spread statistic, so any non-finite *or negative*
+    /// input is out of range and lands in the open top bucket rather than
+    /// silently misbinning as "tiny".
     #[inline]
     pub fn record_dispersion(&self, dispersion: f64) {
         if self.enabled {
-            let idx = DISPERSION_EDGES
-                .iter()
-                .position(|&edge| dispersion <= edge)
-                .unwrap_or(DISPERSION_EDGES.len());
+            let idx = if !dispersion.is_finite() || dispersion < 0.0 {
+                DISPERSION_EDGES.len()
+            } else {
+                DISPERSION_EDGES
+                    .iter()
+                    .position(|&edge| dispersion <= edge)
+                    .unwrap_or(DISPERSION_EDGES.len())
+            };
             self.dispersion[idx].fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -488,6 +497,68 @@ mod tests {
         assert_eq!(counts[0], 1);
         assert_eq!(counts[4], 1);
         assert_eq!(counts[5], 2); // overflow + NaN both land in the open bucket
+    }
+
+    #[test]
+    fn gamma_extremes_do_not_overflow() {
+        let rec = Recorder::enabled();
+        rec.record_gamma(i32::MIN);
+        rec.record_gamma(i32::MAX);
+        let counts = rec.snapshot().gamma.counts;
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[8], 1);
+    }
+
+    #[test]
+    fn out_of_range_dispersion_lands_in_open_bucket() {
+        let rec = Recorder::enabled();
+        for x in [f64::INFINITY, f64::NEG_INFINITY, -0.01, -1e300] {
+            rec.record_dispersion(x);
+        }
+        let counts = rec.snapshot().dispersion.counts;
+        assert!(counts[..5].iter().all(|&c| c == 0), "{counts:?}");
+        assert_eq!(counts[5], 4);
+        // -0.0 is numerically zero, so it bins normally.
+        rec.record_dispersion(-0.0);
+        assert_eq!(rec.snapshot().dispersion.counts[0], 1);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_gamma_lands_in_exactly_one_bucket(g in i32::MIN..i32::MAX) {
+                let rec = Recorder::enabled();
+                rec.record_gamma(g);
+                let counts = rec.snapshot().gamma.counts;
+                prop_assert_eq!(counts.iter().sum::<u64>(), 1);
+            }
+
+            #[test]
+            fn any_f64_bit_pattern_lands_in_exactly_one_dispersion_bucket(
+                bits in 0u64..u64::MAX,
+                case in 0usize..4,
+            ) {
+                // Random bit patterns reach subnormals and negative
+                // values; the `case` override guarantees each run also
+                // exercises NaN and both infinities.
+                let x = match case {
+                    0 => f64::NAN,
+                    1 => f64::INFINITY,
+                    2 => f64::NEG_INFINITY,
+                    _ => f64::from_bits(bits),
+                };
+                let rec = Recorder::enabled();
+                rec.record_dispersion(x);
+                let counts = rec.snapshot().dispersion.counts;
+                prop_assert_eq!(counts.iter().sum::<u64>(), 1);
+                if !x.is_finite() || x < 0.0 {
+                    prop_assert_eq!(counts[DISPERSION_EDGES.len()], 1);
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::fmt::Write as _;
 
+use crate::json::{field, parse, Json};
 use crate::recorder::{
     CounterId, IssueId, StageId, ATTEMPT_LABELS, DISPERSION_LABELS, GAMMA_LABELS,
 };
@@ -143,26 +144,44 @@ fn write_int_object(out: &mut String, name: &str, entries: &[(&str, u64)], inden
 }
 
 // ---------------------------------------------------------------------------
-// Validation: a minimal recursive-descent JSON parser (std-only,
-// panic-free) plus schema checks against the canonical name lists.
+// Validation: schema checks against the canonical name lists, on top of
+// the shared `crate::json` parser.
 // ---------------------------------------------------------------------------
 
 /// Validates an exported snapshot: well-formed JSON, the `wimi-obs/1`
 /// schema with every key present in canonical order, and all values
 /// finite non-negative integers (NaN/Infinity are impossible by
 /// construction and rejected by the parser).
+///
+/// Truncated input and a mismatched schema version each produce a
+/// distinct one-line message so `obs-validate` failures are actionable.
 pub fn validate_json(text: &str) -> Result<(), String> {
     let value = parse(text)?;
-    let root = as_obj(&value, "root")?;
+    validate_value(&value)
+}
+
+/// Validates an already-parsed snapshot value against the `wimi-obs/1`
+/// schema. Used by [`validate_json`] and by `wimi-trace` to check the
+/// snapshot embedded in a trace artifact without re-serialising it.
+pub fn validate_value(value: &Json) -> Result<(), String> {
+    let root = as_obj(value, "root")?;
+    // Check the version stamp before anything else: a snapshot from a
+    // newer writer should say "version mismatch", not complain about
+    // whatever key happens to differ first.
+    match field(root, "schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(Json::Str(s)) => {
+            return Err(format!(
+                "schema version mismatch: snapshot declares \"{s}\" but this validator understands \"{SCHEMA}\""
+            ))
+        }
+        _ => return Err(format!("\"schema\" must be the string \"{SCHEMA}\"")),
+    }
     expect_keys(
         root,
         &["schema", "stages", "counters", "issues", "histograms"],
         "root",
     )?;
-    match field(root, "schema") {
-        Some(Json::Str(s)) if s == SCHEMA => {}
-        _ => return Err(format!("\"schema\" must be the string \"{SCHEMA}\"")),
-    }
 
     let Some(Json::Arr(stages)) = field(root, "stages") else {
         return Err("\"stages\" must be an array".into());
@@ -245,26 +264,6 @@ pub fn validate_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Parsed JSON value. Numbers remember whether their source text was
-/// integral so the schema check needs no float comparisons.
-enum Json {
-    Null,
-    /// Carried only so `true`/`false` parse; the schema never uses them.
-    #[allow(dead_code)]
-    Bool(bool),
-    Num {
-        value: f64,
-        integral: bool,
-    },
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
 fn as_obj<'a>(v: &'a Json, what: &str) -> Result<&'a Vec<(String, Json)>, String> {
     match v {
         Json::Obj(o) => Ok(o),
@@ -308,236 +307,6 @@ fn expect_int_object(
         expect_u64(Some(v), &format!("\"{name}\".\"{key}\""))?;
     }
     Ok(())
-}
-
-const MAX_DEPTH: u32 = 64;
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-fn parse(text: &str) -> Result<Json, String> {
-    let mut p = Parser {
-        bytes: text.as_bytes(),
-        pos: 0,
-    };
-    let v = p.value(0)?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.fail("trailing data after the top-level value"));
-    }
-    Ok(v)
-}
-
-impl Parser<'_> {
-    fn fail(&self, msg: &str) -> String {
-        format!("invalid JSON at byte {}: {msg}", self.pos)
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn eat(&mut self, byte: u8) -> bool {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn eat_word(&mut self, word: &str) -> bool {
-        let end = self.pos + word.len();
-        if self.bytes.get(self.pos..end) == Some(word.as_bytes()) {
-            self.pos = end;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self, depth: u32) -> Result<Json, String> {
-        if depth > MAX_DEPTH {
-            return Err(self.fail("nesting too deep"));
-        }
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') if self.eat_word("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat_word("false") => Ok(Json::Bool(false)),
-            Some(b'n') if self.eat_word("null") => Ok(Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.fail("expected a value")),
-        }
-    }
-
-    fn object(&mut self, depth: u32) -> Result<Json, String> {
-        self.pos += 1; // consume '{'
-        let mut entries = Vec::new();
-        self.skip_ws();
-        if self.eat(b'}') {
-            return Ok(Json::Obj(entries));
-        }
-        loop {
-            self.skip_ws();
-            if self.peek() != Some(b'"') {
-                return Err(self.fail("expected an object key"));
-            }
-            let key = self.string()?;
-            self.skip_ws();
-            if !self.eat(b':') {
-                return Err(self.fail("expected ':' after object key"));
-            }
-            let v = self.value(depth + 1)?;
-            entries.push((key, v));
-            self.skip_ws();
-            if self.eat(b',') {
-                continue;
-            }
-            if self.eat(b'}') {
-                return Ok(Json::Obj(entries));
-            }
-            return Err(self.fail("expected ',' or '}' in object"));
-        }
-    }
-
-    fn array(&mut self, depth: u32) -> Result<Json, String> {
-        self.pos += 1; // consume '['
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.eat(b']') {
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            if self.eat(b',') {
-                continue;
-            }
-            if self.eat(b']') {
-                return Ok(Json::Arr(items));
-            }
-            return Err(self.fail("expected ',' or ']' in array"));
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.pos += 1; // consume '"'
-        let mut s = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.fail("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => s.push('"'),
-                        Some(b'\\') => s.push('\\'),
-                        Some(b'/') => s.push('/'),
-                        Some(b'b') => s.push('\u{0008}'),
-                        Some(b'f') => s.push('\u{000C}'),
-                        Some(b'n') => s.push('\n'),
-                        Some(b'r') => s.push('\r'),
-                        Some(b't') => s.push('\t'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let code = self.hex4()?;
-                            // Lenient on surrogates: the schema's strings
-                            // are ASCII names, so anything exotic maps to
-                            // the replacement character.
-                            s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
-                            continue;
-                        }
-                        _ => return Err(self.fail("bad escape sequence")),
-                    }
-                    self.pos += 1;
-                }
-                Some(c) if c < 0x20 => return Err(self.fail("raw control byte in string")),
-                Some(_) => {
-                    // Copy one UTF-8 scalar (input is &str, so boundaries
-                    // are valid).
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self.peek().is_some_and(|b| b & 0b1100_0000 == 0b1000_0000) {
-                        self.pos += 1;
-                    }
-                    if let Some(chunk) = self.bytes.get(start..self.pos) {
-                        s.push_str(std::str::from_utf8(chunk).unwrap_or("\u{FFFD}"));
-                    }
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, String> {
-        let mut code: u32 = 0;
-        for _ in 0..4 {
-            let d = match self.peek() {
-                Some(c @ b'0'..=b'9') => u32::from(c - b'0'),
-                Some(c @ b'a'..=b'f') => u32::from(c - b'a') + 10,
-                Some(c @ b'A'..=b'F') => u32::from(c - b'A') + 10,
-                _ => return Err(self.fail("bad \\u escape")),
-            };
-            code = code * 16 + d;
-            self.pos += 1;
-        }
-        Ok(code)
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        let negative = self.eat(b'-');
-        let mut integral = !negative;
-        if !matches!(self.peek(), Some(b'0'..=b'9')) {
-            return Err(self.fail("expected a digit"));
-        }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if self.eat(b'.') {
-            integral = false;
-            if !matches!(self.peek(), Some(b'0'..=b'9')) {
-                return Err(self.fail("expected a digit after '.'"));
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            integral = false;
-            self.pos += 1;
-            let _ = self.eat(b'+') || self.eat(b'-');
-            if !matches!(self.peek(), Some(b'0'..=b'9')) {
-                return Err(self.fail("expected a digit in exponent"));
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        let text = self
-            .bytes
-            .get(start..self.pos)
-            .and_then(|b| std::str::from_utf8(b).ok())
-            .ok_or_else(|| self.fail("bad number slice"))?;
-        let value: f64 = text.parse().map_err(|_| self.fail("unparseable number"))?;
-        if !value.is_finite() {
-            return Err(self.fail("number overflows f64 (NaN/Infinity are not valid JSON)"));
-        }
-        Ok(Json::Num { value, integral })
-    }
 }
 
 #[cfg(test)]
@@ -590,6 +359,27 @@ mod tests {
         let good = Recorder::enabled().snapshot().to_json();
         let bad = good.replace("wimi-obs/1", "wimi-obs/0");
         assert!(validate_json(&bad).is_err());
+    }
+
+    #[test]
+    fn validator_names_the_mismatched_schema_version() {
+        let good = Recorder::enabled().snapshot().to_json();
+        let bad = good.replace("wimi-obs/1", "wimi-obs/2");
+        let err = validate_json(&bad).unwrap_err();
+        assert!(err.contains("schema version mismatch"), "{err}");
+        assert!(err.contains("wimi-obs/2"), "{err}");
+        assert!(err.contains("wimi-obs/1"), "{err}");
+        assert!(!err.contains('\n'), "message must be one line: {err}");
+    }
+
+    #[test]
+    fn validator_reports_truncated_json() {
+        let good = Recorder::enabled().snapshot().to_json();
+        // The export is ASCII, so any byte index is a char boundary.
+        let half = &good[..good.len() / 2];
+        let err = validate_json(half).unwrap_err();
+        assert!(err.starts_with("truncated JSON"), "{err}");
+        assert!(!err.contains('\n'), "message must be one line: {err}");
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Artifact analysis: human summaries, first-divergence diffing, and
+//! deterministic work-counter budget gates.
+
+use std::fmt::Write as _;
+
+use wimi_obs::json::Json;
+
+use crate::artifact::{parse_and_validate, Artifact};
+
+/// Renders a deterministic human-readable summary of an artifact:
+/// header totals, event-type mix, per-stage span balance, issue tallies,
+/// and — when the run failed — the tail of each failing task's stream so
+/// the failing stage/issue is visible at a glance.
+pub fn summary(text: &str) -> Result<String, String> {
+    let artifact = parse_and_validate(text)?;
+    let mut out = String::new();
+    let h = artifact.header;
+    let _ = writeln!(
+        out,
+        "wimi-trace/1: {} tasks, {} events ({} emitted), {} failures, {} tasks truncated",
+        h.tasks, h.events, h.events_emitted, h.failures, h.tasks_truncated
+    );
+
+    let mut by_ev: Vec<(&str, u64)> = Vec::new();
+    for line in &artifact.events {
+        match by_ev.iter_mut().find(|(name, _)| *name == line.ev) {
+            Some((_, n)) => *n += 1,
+            None => by_ev.push((&line.ev, 1)),
+        }
+    }
+    by_ev.sort();
+    out.push_str("events by type:\n");
+    for (name, n) in &by_ev {
+        let _ = writeln!(out, "  {name:<20} {n:>8}");
+    }
+
+    let mut issues: Vec<(&str, u64)> = Vec::new();
+    for line in &artifact.events {
+        if line.ev == "issue" {
+            if let Some(name) = line.value.get("issue").and_then(Json::as_str) {
+                let count = line.value.get("count").and_then(Json::as_u64).unwrap_or(0);
+                match issues.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, total)) => *total += count,
+                    None => issues.push((name, count)),
+                }
+            }
+        }
+    }
+    issues.sort();
+    if !issues.is_empty() {
+        out.push_str("issues:\n");
+        for (name, n) in &issues {
+            let _ = writeln!(out, "  {name:<20} {n:>8}");
+        }
+    }
+
+    if h.failures > 0 {
+        out.push_str("failing tasks (stream tails):\n");
+        // A task counts as failing when its *last* outcome event is a
+        // failure — a rejected attempt that a later retry recovered from
+        // (failed … feature) is not a failing task.
+        let mut outcomes: Vec<(&str, bool)> = Vec::new();
+        for line in &artifact.events {
+            let failing = match line.ev.as_str() {
+                "failed" | "retries_exhausted" => true,
+                "feature" => false,
+                _ => continue,
+            };
+            match outcomes.iter_mut().find(|(t, _)| *t == line.task) {
+                Some((_, f)) => *f = failing,
+                None => outcomes.push((line.task.as_str(), failing)),
+            }
+        }
+        let failing: Vec<&str> = outcomes
+            .iter()
+            .filter(|(_, f)| *f)
+            .map(|(t, _)| *t)
+            .collect();
+        for task in dedup_in_order(&failing) {
+            let tail: Vec<&crate::artifact::EventLine> =
+                artifact.events.iter().filter(|l| l.task == task).collect();
+            let start = tail.len().saturating_sub(5);
+            let _ = writeln!(out, "  {task}:");
+            for line in &tail[start..] {
+                let _ = writeln!(out, "    seq {:>4}  {}", line.seq, describe(line));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn dedup_in_order<'a>(items: &[&'a str]) -> Vec<&'a str> {
+    let mut seen: Vec<&str> = Vec::new();
+    for &it in items {
+        if !seen.contains(&it) {
+            seen.push(it);
+        }
+    }
+    seen
+}
+
+fn describe(line: &crate::artifact::EventLine) -> String {
+    let v = &line.value;
+    let s = |key: &str| v.get(key).and_then(Json::as_str).unwrap_or("?");
+    let n = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+    match line.ev.as_str() {
+        "enter" => format!("enter {}", s("stage")),
+        "exit" => format!("exit {}", s("stage")),
+        "count" => format!("count {} +{}", s("counter"), n("delta")),
+        "issue" => format!("issue {} x{}", s("issue"), n("count")),
+        "salvage" => format!("salvage {} x{}", s("action"), n("count")),
+        "attempt" => format!("attempt {}/{}", n("attempt"), n("max")),
+        "retries_exhausted" => format!("retries exhausted after {}", n("attempts")),
+        "feature" => format!("feature from {} pairs", n("pairs")),
+        "failed" => format!("FAILED at {} ({})", s("stage"), s("issue")),
+        "svm_machine" => format!("svm machine {}x{}", n("class_a"), n("class_b")),
+        other => other.to_string(),
+    }
+}
+
+/// Outcome of diffing two artifacts line-by-line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// The artifacts are byte-identical.
+    Identical,
+    /// The artifacts first differ at 1-based `line_no`.
+    Diverged {
+        /// First differing line (1-based).
+        line_no: usize,
+        /// A human-readable report: the diverging line from each side
+        /// plus surrounding context.
+        report: String,
+    },
+}
+
+/// Compares two artifacts and reports the first diverging line with
+/// surrounding context. A missing line on one side (different lengths)
+/// also counts as divergence.
+pub fn diff(a: &str, b: &str) -> DiffOutcome {
+    if a == b {
+        return DiffOutcome::Identical;
+    }
+    let a_lines: Vec<&str> = a.lines().collect();
+    let b_lines: Vec<&str> = b.lines().collect();
+    let n = a_lines.len().max(b_lines.len());
+    for i in 0..n {
+        let la = a_lines.get(i).copied();
+        let lb = b_lines.get(i).copied();
+        if la == lb {
+            continue;
+        }
+        let mut report = String::new();
+        let _ = writeln!(report, "first divergence at line {}:", i + 1);
+        let ctx_start = i.saturating_sub(2);
+        for j in ctx_start..i {
+            if let Some(l) = a_lines.get(j) {
+                let _ = writeln!(report, "  {:>5}   {l}", j + 1);
+            }
+        }
+        let _ = writeln!(
+            report,
+            "  {:>5} A {}",
+            i + 1,
+            la.unwrap_or("<end of artifact>")
+        );
+        let _ = writeln!(
+            report,
+            "  {:>5} B {}",
+            i + 1,
+            lb.unwrap_or("<end of artifact>")
+        );
+        for j in (i + 1)..(i + 3) {
+            match (a_lines.get(j), b_lines.get(j)) {
+                (Some(l), _) | (None, Some(l)) => {
+                    let _ = writeln!(report, "  {:>5}   {l}", j + 1);
+                }
+                (None, None) => break,
+            }
+        }
+        return DiffOutcome::Diverged {
+            line_no: i + 1,
+            report,
+        };
+    }
+    // Unreachable in practice (a != b implies some line differs), but
+    // stay panic-free and conservative.
+    DiffOutcome::Diverged {
+        line_no: 0,
+        report: "artifacts differ only in trailing whitespace".into(),
+    }
+}
+
+/// One budget comparison row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetRow {
+    /// Work-counter name.
+    pub name: String,
+    /// Actual value measured from the artifact.
+    pub actual: u64,
+    /// Committed ceiling from the bench summary.
+    pub budget: u64,
+    /// Whether `actual` stayed within `budget`.
+    pub ok: bool,
+}
+
+/// Checks an artifact's deterministic work counters against the
+/// `work_budgets` object of a committed bench summary (`BENCH_PR5.json`).
+///
+/// `trace_events` is compared against the sink's total emissions; every
+/// other budget name is looked up in the embedded obs snapshot's
+/// counters. Exceeding any ceiling fails; unknown budget names fail too
+/// (a renamed counter must not silently stop gating).
+pub fn check_budgets(bench_json: &str, artifact_text: &str) -> Result<Vec<BudgetRow>, String> {
+    let artifact = parse_and_validate(artifact_text)?;
+    let bench = wimi_obs::json::parse(bench_json).map_err(|e| format!("bench summary: {e}"))?;
+    let Some(Json::Obj(budgets)) = bench.get("work_budgets") else {
+        return Err("bench summary has no \"work_budgets\" object".into());
+    };
+    if budgets.is_empty() {
+        return Err("\"work_budgets\" is empty — nothing to gate on".into());
+    }
+    let mut rows = Vec::new();
+    for (name, value) in budgets {
+        let budget = value
+            .as_u64()
+            .ok_or_else(|| format!("budget \"{name}\" must be a non-negative integer"))?;
+        let actual = lookup_metric(&artifact, name)?;
+        rows.push(BudgetRow {
+            name: name.clone(),
+            actual,
+            budget,
+            ok: actual <= budget,
+        });
+    }
+    Ok(rows)
+}
+
+fn lookup_metric(artifact: &Artifact, name: &str) -> Result<u64, String> {
+    if name == "trace_events" {
+        return Ok(artifact.header.events_emitted);
+    }
+    let counters = artifact
+        .obs
+        .get("counters")
+        .ok_or_else(|| format!("budget \"{name}\": artifact embeds no obs snapshot counters"))?;
+    counters.get(name).and_then(Json::as_u64).ok_or_else(|| {
+        format!("budget \"{name}\" does not match any obs counter (renamed or removed?)")
+    })
+}
+
+/// Renders budget rows as a fixed-width table, one row per line.
+pub fn budget_table(rows: &[BudgetRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12}  status",
+        "work counter", "actual", "budget"
+    );
+    for row in rows {
+        let status = if row.ok { "ok" } else { "OVER BUDGET" };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12}  {status}",
+            row.name, row.actual, row.budget
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::render;
+    use crate::event::{Ctx, TaskKey, TraceEvent};
+    use crate::sink::{task_scope, TraceSink};
+    use wimi_obs::{CounterId, IssueId, Recorder, StageId};
+
+    fn failing_artifact() -> String {
+        let sink = TraceSink::enabled();
+        {
+            let _scope = task_scope(TaskKey::measurement(3));
+            sink.emit(TraceEvent::Attempt { attempt: 1, max: 2 });
+            sink.emit(TraceEvent::Issue {
+                issue: IssueId::ShortCapture,
+                count: 1,
+                ctx: Ctx::packet(7),
+            });
+            sink.emit(TraceEvent::Failed {
+                stage: StageId::Screening,
+                issue: IssueId::ShortCapture,
+            });
+            sink.emit(TraceEvent::Attempt { attempt: 2, max: 2 });
+            sink.emit(TraceEvent::Failed {
+                stage: StageId::Screening,
+                issue: IssueId::ShortCapture,
+            });
+            sink.emit(TraceEvent::RetriesExhausted { attempts: 2 });
+        }
+        sink.mark_failure();
+        let rec = Recorder::enabled();
+        rec.incr(CounterId::MeasurementsFailed);
+        render(&sink.flush(), Some(&rec.snapshot().to_json()))
+    }
+
+    #[test]
+    fn summary_localizes_the_failing_stage_and_issue() {
+        let text = summary(&failing_artifact()).unwrap();
+        assert!(text.contains("1 failures"), "{text}");
+        assert!(text.contains("meas:3"), "{text}");
+        assert!(
+            text.contains("FAILED at screening (short_capture)"),
+            "{text}"
+        );
+        assert!(text.contains("retries exhausted after 2"), "{text}");
+    }
+
+    #[test]
+    fn diff_identical_artifacts() {
+        let a = failing_artifact();
+        assert_eq!(diff(&a, &a.clone()), DiffOutcome::Identical);
+    }
+
+    #[test]
+    fn diff_reports_first_divergence_with_context() {
+        let a = failing_artifact();
+        let b = a.replacen("\"attempt\":2", "\"attempt\":3", 1);
+        match diff(&a, &b) {
+            DiffOutcome::Diverged { line_no, report } => {
+                assert!(line_no > 1);
+                assert!(report.contains("first divergence"), "{report}");
+                assert!(report.contains(" A "), "{report}");
+                assert!(report.contains(" B "), "{report}");
+            }
+            DiffOutcome::Identical => panic!("must diverge"),
+        }
+    }
+
+    #[test]
+    fn diff_handles_length_mismatch() {
+        let a = failing_artifact();
+        let b: String = a.lines().take(3).map(|l| format!("{l}\n")).collect();
+        match diff(&a, &b) {
+            DiffOutcome::Diverged { report, .. } => {
+                assert!(report.contains("<end of artifact>"), "{report}");
+            }
+            DiffOutcome::Identical => panic!("must diverge"),
+        }
+    }
+
+    #[test]
+    fn budgets_pass_within_and_fail_over() {
+        let artifact = failing_artifact();
+        let ok = r#"{"work_budgets": {"trace_events": 10, "measurements_failed": 1}}"#;
+        let rows = check_budgets(ok, &artifact).unwrap();
+        assert!(rows.iter().all(|r| r.ok), "{rows:?}");
+        let over = r#"{"work_budgets": {"trace_events": 3}}"#;
+        let rows = check_budgets(over, &artifact).unwrap();
+        assert!(rows.iter().any(|r| !r.ok), "{rows:?}");
+        let table = budget_table(&rows);
+        assert!(table.contains("OVER BUDGET"), "{table}");
+    }
+
+    #[test]
+    fn budgets_reject_unknown_names_and_missing_section() {
+        let artifact = failing_artifact();
+        let unknown = r#"{"work_budgets": {"warp_cores": 1}}"#;
+        assert!(check_budgets(unknown, &artifact).is_err());
+        assert!(check_budgets("{}", &artifact).is_err());
+        assert!(check_budgets(r#"{"work_budgets": {}}"#, &artifact).is_err());
+    }
+}
