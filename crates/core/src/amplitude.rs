@@ -8,8 +8,9 @@
 //! 3. cross-antenna ratio `|H_a|/|H_b|`, whose common AGC/multipath
 //!    variation cancels (paper Fig. 8).
 
-use wimi_dsp::outlier::reject_outliers_3sigma;
-use wimi_dsp::stats::{median, variance};
+use wimi_dsp::outlier::{reject_outliers_3sigma, reject_outliers_into, OutlierScratch};
+use wimi_dsp::stats::{median_in, variance};
+use wimi_dsp::wavelet::denoise::DenoiseScratch;
 use wimi_dsp::wavelet::CorrelationDenoiser;
 use wimi_phy::csi::CsiCapture;
 
@@ -56,6 +57,108 @@ impl AmplitudeConfig {
         }
         xs
     }
+
+    /// [`Self::clean_series`] through caller-owned buffers — same bits,
+    /// no steady-state allocation.
+    // wlint: hot
+    pub fn clean_series_into(
+        &self,
+        series: &[f64],
+        scratch: &mut CleanScratch,
+        out: &mut Vec<f64>,
+    ) {
+        if self.reject_outliers {
+            reject_outliers_into(series, 3.0, &mut scratch.outlier, &mut scratch.rejected);
+            if self.wavelet_denoise {
+                self.denoiser
+                    .denoise_into(&scratch.rejected, &mut scratch.denoise, out);
+            } else {
+                out.clear();
+                out.extend_from_slice(&scratch.rejected);
+            }
+        } else if self.wavelet_denoise {
+            self.denoiser
+                .denoise_into(series, &mut scratch.denoise, out);
+        } else {
+            out.clear();
+            out.extend_from_slice(series);
+        }
+    }
+}
+
+/// Scratch buffers for [`AmplitudeConfig::clean_series_into`].
+#[derive(Debug, Clone, Default)]
+pub struct CleanScratch {
+    rejected: Vec<f64>,
+    outlier: OutlierScratch,
+    denoise: DenoiseScratch,
+}
+
+/// Every cleaned per-(antenna, subcarrier) amplitude time series of one
+/// capture, computed once and shared across antenna pairs.
+///
+/// The amplitude cleaning chain (outlier repair + wavelet denoise) is a
+/// function of a single antenna's series, yet each antenna participates in
+/// several pairs — computing the cleaned series per *pair* repeats the
+/// most expensive stage of the pipeline. Building this cache up front
+/// de-duplicates that work; [`AmplitudeRatioProfile::from_cleaned`] then
+/// forms ratios from the cached series, bit-for-bit equal to
+/// [`AmplitudeRatioProfile::compute`].
+#[derive(Debug, Clone)]
+pub struct CleanedAmplitudes {
+    n_antennas: usize,
+    n_subcarriers: usize,
+    series: Vec<Vec<f64>>,
+}
+
+impl CleanedAmplitudes {
+    /// Cleans every (antenna, subcarrier) series of the capture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capture is empty.
+    pub fn compute(capture: &CsiCapture, config: &AmplitudeConfig) -> Self {
+        assert!(!capture.is_empty(), "capture holds no packets");
+        let n_antennas = capture.n_antennas();
+        let n_subcarriers = capture.n_subcarriers();
+        let mut scratch = CleanScratch::default();
+        let mut raw = Vec::new();
+        let mut series = Vec::with_capacity(n_antennas * n_subcarriers);
+        for a in 0..n_antennas {
+            for k in 0..n_subcarriers {
+                capture.amplitude_series_into(a, k, &mut raw);
+                let mut cleaned = Vec::new();
+                config.clean_series_into(&raw, &mut scratch, &mut cleaned);
+                series.push(cleaned);
+            }
+        }
+        CleanedAmplitudes {
+            n_antennas,
+            n_subcarriers,
+            series,
+        }
+    }
+
+    /// The cleaned series of one (antenna, subcarrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn series(&self, antenna: usize, subcarrier: usize) -> &[f64] {
+        assert!(antenna < self.n_antennas, "antenna index out of range");
+        assert!(subcarrier < self.n_subcarriers, "subcarrier out of range");
+        &self.series[antenna * self.n_subcarriers + subcarrier]
+    }
+
+    /// Number of antennas covered.
+    pub fn n_antennas(&self) -> usize {
+        self.n_antennas
+    }
+
+    /// Number of subcarriers covered.
+    pub fn n_subcarriers(&self) -> usize {
+        self.n_subcarriers
+    }
 }
 
 /// Per-subcarrier amplitude-ratio summary for one antenna pair over a
@@ -88,30 +191,37 @@ impl AmplitudeRatioProfile {
         assert!(a < n_ant && b < n_ant, "antenna index out of range");
 
         let n_sub = capture.n_subcarriers();
-        let mut mean_out = Vec::with_capacity(n_sub);
-        let mut var_out = Vec::with_capacity(n_sub);
+        let mut scratch = CleanScratch::default();
+        let mut summary = RatioSummary::new(n_sub);
+        let (mut raw, mut sa, mut sb) = (Vec::new(), Vec::new(), Vec::new());
         for k in 0..n_sub {
-            let sa = config.clean_series(&capture.amplitude_series(a, k));
-            let sb = config.clean_series(&capture.amplitude_series(b, k));
-            let ratio: Vec<f64> = sa
-                .iter()
-                .zip(&sb)
-                .map(|(x, y)| if *y > 0.0 { x / y } else { f64::NAN })
-                .filter(|r| r.is_finite())
-                .collect();
-            if ratio.is_empty() {
-                mean_out.push(f64::NAN);
-                var_out.push(f64::NAN);
-            } else {
-                mean_out.push(median(&ratio));
-                var_out.push(variance(&ratio));
-            }
+            capture.amplitude_series_into(a, k, &mut raw);
+            config.clean_series_into(&raw, &mut scratch, &mut sa);
+            capture.amplitude_series_into(b, k, &mut raw);
+            config.clean_series_into(&raw, &mut scratch, &mut sb);
+            summary.push_ratio(&sa, &sb);
         }
-        AmplitudeRatioProfile {
-            pair: (a, b),
-            mean: mean_out,
-            variance: var_out,
+        summary.finish(a, b)
+    }
+
+    /// Builds the profile from pre-cleaned series — bit-for-bit equal to
+    /// [`Self::compute`] with the same configuration, without repeating
+    /// the per-antenna cleaning for every pair the antenna appears in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or equal.
+    pub fn from_cleaned(cleaned: &CleanedAmplitudes, a: usize, b: usize) -> Self {
+        assert!(a != b, "amplitude ratio needs two distinct antennas");
+        let n_ant = cleaned.n_antennas();
+        assert!(a < n_ant && b < n_ant, "antenna index out of range");
+
+        let n_sub = cleaned.n_subcarriers();
+        let mut summary = RatioSummary::new(n_sub);
+        for k in 0..n_sub {
+            summary.push_ratio(cleaned.series(a, k), cleaned.series(b, k));
         }
+        summary.finish(a, b)
     }
 
     /// Number of subcarriers.
@@ -137,6 +247,52 @@ impl AmplitudeRatioProfile {
             f64::NAN
         } else {
             finite.iter().sum::<f64>() / finite.len() as f64
+        }
+    }
+}
+
+/// Accumulates the per-subcarrier median/variance of the cleaned ratio,
+/// reusing one ratio buffer and one sort buffer across subcarriers.
+struct RatioSummary {
+    mean: Vec<f64>,
+    variance: Vec<f64>,
+    ratio: Vec<f64>,
+    sort: Vec<f64>,
+}
+
+impl RatioSummary {
+    fn new(n_sub: usize) -> Self {
+        RatioSummary {
+            mean: Vec::with_capacity(n_sub),
+            variance: Vec::with_capacity(n_sub),
+            ratio: Vec::new(),
+            sort: Vec::new(),
+        }
+    }
+
+    // wlint: hot
+    fn push_ratio(&mut self, sa: &[f64], sb: &[f64]) {
+        self.ratio.clear();
+        self.ratio.extend(
+            sa.iter()
+                .zip(sb)
+                .map(|(x, y)| if *y > 0.0 { x / y } else { f64::NAN })
+                .filter(|r| r.is_finite()),
+        );
+        if self.ratio.is_empty() {
+            self.mean.push(f64::NAN);
+            self.variance.push(f64::NAN);
+        } else {
+            self.mean.push(median_in(&self.ratio, &mut self.sort));
+            self.variance.push(variance(&self.ratio));
+        }
+    }
+
+    fn finish(self, a: usize, b: usize) -> AmplitudeRatioProfile {
+        AmplitudeRatioProfile {
+            pair: (a, b),
+            mean: self.mean,
+            variance: self.variance,
         }
     }
 }
@@ -194,6 +350,57 @@ mod tests {
             cv_ratio < cv_ant,
             "ratio CV ({cv_ratio:.5}) should beat single-antenna CV ({cv_ant:.5})"
         );
+    }
+
+    #[test]
+    fn cached_profiles_match_direct_compute_bitwise() {
+        let cap = capture();
+        for config in [AmplitudeConfig::default(), AmplitudeConfig::raw()] {
+            let cleaned = CleanedAmplitudes::compute(&cap, &config);
+            for (a, b) in [(0usize, 1usize), (0, 2), (1, 2), (2, 0)] {
+                let direct = AmplitudeRatioProfile::compute(&cap, a, b, &config);
+                let cached = AmplitudeRatioProfile::from_cleaned(&cleaned, a, b);
+                assert_eq!(direct.pair, cached.pair);
+                assert_eq!(direct.mean.len(), cached.mean.len());
+                for (x, y) in direct.mean.iter().zip(&cached.mean) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (x, y) in direct.variance.iter().zip(&cached.variance) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_series_into_matches_allocating_variant_bitwise() {
+        let mut series: Vec<f64> = (0..64)
+            .map(|i| 1.0 + 0.01 * (i as f64 * 0.4).sin())
+            .collect();
+        series[30] = 50.0;
+        let mut scratch = CleanScratch::default();
+        let mut out = Vec::new();
+        for config in [
+            AmplitudeConfig::default(),
+            AmplitudeConfig::raw(),
+            AmplitudeConfig {
+                reject_outliers: true,
+                wavelet_denoise: false,
+                denoiser: CorrelationDenoiser::default(),
+            },
+            AmplitudeConfig {
+                reject_outliers: false,
+                wavelet_denoise: true,
+                denoiser: CorrelationDenoiser::default(),
+            },
+        ] {
+            config.clean_series_into(&series, &mut scratch, &mut out);
+            let reference = config.clean_series(&series);
+            assert_eq!(out.len(), reference.len());
+            for (x, y) in out.iter().zip(&reference) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! antennas cancels those errors (Eq. 6), leaving only a Gaussian residual
 //! that time-averaging removes.
 
-use wimi_dsp::stats::{phase_variance, trimmed_circular_mean};
+use wimi_dsp::stats::phase_summary;
 use wimi_phy::csi::CsiCapture;
 
 /// Fraction of most-deviant packets dropped from the per-subcarrier phase
@@ -41,10 +41,13 @@ impl PhaseDifferenceProfile {
         let n_sub = capture.n_subcarriers();
         let mut mean = Vec::with_capacity(n_sub);
         let mut variance = Vec::with_capacity(n_sub);
+        let mut series = Vec::new();
+        let mut dev = Vec::new();
         for k in 0..n_sub {
-            let series = capture.phase_difference_series(a, b, k);
-            mean.push(trimmed_circular_mean(&series, PHASE_TRIM_FRACTION));
-            variance.push(phase_variance(&series));
+            capture.phase_difference_series_into(a, b, k, &mut series);
+            let (m, v) = phase_summary(&series, PHASE_TRIM_FRACTION, &mut dev);
+            mean.push(m);
+            variance.push(v);
         }
         PhaseDifferenceProfile {
             pair: (a, b),

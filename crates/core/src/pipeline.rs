@@ -6,7 +6,7 @@
 //! feature extraction (Ω̄), and SVM classification against the material
 //! database.
 
-use crate::amplitude::{AmplitudeConfig, AmplitudeRatioProfile};
+use crate::amplitude::{AmplitudeConfig, AmplitudeRatioProfile, CleanedAmplitudes};
 use crate::antenna::PairSelection;
 use crate::database::MaterialDatabase;
 use crate::error::{FeatureError, IdentifyError, IssueKind, Stage, StageIssue};
@@ -294,7 +294,7 @@ impl WiMi {
             PairSelection::Fixed(a, b) => {
                 quality.pairs_attempted = 1;
                 let result = remap_fixed_pair(*a, *b, survivors)
-                    .and_then(|(ra, rb)| self.extract_for_pair(base, tar, ra, rb, rejected));
+                    .and_then(|(ra, rb)| self.extract_for_pair(base, tar, ra, rb, rejected, None));
                 quality.pairs_resolved = result.is_ok() as usize;
                 result
             }
@@ -306,7 +306,7 @@ impl WiMi {
                 // and would refuse; the single-pair path (built for
                 // two-antenna hardware) handles this.
                 quality.pairs_attempted = 1;
-                let result = self.extract_for_pair(base, tar, 0, 1, rejected);
+                let result = self.extract_for_pair(base, tar, 0, 1, rejected, None);
                 quality.pairs_resolved = result.is_ok() as usize;
                 result
             }
@@ -342,8 +342,21 @@ impl WiMi {
                 // as the serial loop reported them.
                 let pairs = crate::antenna::enumerate_pairs(base.n_antennas());
                 quality.pairs_attempted = pairs.len();
+                // Shared cleaned-amplitude cache, built before the fan-out
+                // (see `extract_joint`).
+                let amp_cache = (
+                    CleanedAmplitudes::compute(base, &self.config.amplitude),
+                    CleanedAmplitudes::compute(tar, &self.config.amplitude),
+                );
                 let extracted = crate::par::map(&pairs, |_, &(a, b)| {
-                    self.extract_for_pair(base, tar, a, b, rejected)
+                    self.extract_for_pair(
+                        base,
+                        tar,
+                        a,
+                        b,
+                        rejected,
+                        Some((&amp_cache.0, &amp_cache.1)),
+                    )
                 });
                 quality.pairs_resolved = extracted.iter().filter(|f| f.is_ok()).count();
                 let mut combined: Result<Option<MaterialFeature>, FeatureError> = Ok(None);
@@ -396,8 +409,30 @@ impl WiMi {
         // ranking, amplitude denoising) is the hot path of every
         // measurement and is independent across pairs — fan it out.
         let pairs = crate::antenna::enumerate_pairs(baseline.n_antennas());
+        // Clean every antenna's amplitude series once, before the fan-out:
+        // each antenna appears in several pairs, and the cleaning chain is
+        // the most expensive per-pair stage. Running it up front (rather
+        // than inside the workers) also keeps the work deterministic per
+        // antenna regardless of thread count.
+        let amp_cache = {
+            let _span = self
+                .recorder
+                .as_ref()
+                .map(|r| r.span(StageId::AmplitudeDenoising));
+            (
+                CleanedAmplitudes::compute(baseline, &self.config.amplitude),
+                CleanedAmplitudes::compute(target, &self.config.amplitude),
+            )
+        };
         let profiles = crate::par::map(&pairs, |_, &(a, b)| {
-            self.pair_profiles(baseline, target, a, b, rejected)
+            self.pair_profiles(
+                baseline,
+                target,
+                a,
+                b,
+                rejected,
+                Some((&amp_cache.0, &amp_cache.1)),
+            )
         });
         let inputs: Vec<crate::feature::PairMeasurement<'_>> = profiles
             .iter()
@@ -434,6 +469,7 @@ impl WiMi {
         a: usize,
         b: usize,
         rejected: &[usize],
+        amps: Option<(&CleanedAmplitudes, &CleanedAmplitudes)>,
     ) -> (
         PhaseDifferenceProfile,
         PhaseDifferenceProfile,
@@ -457,10 +493,16 @@ impl WiMi {
         };
         let (amp_base, amp_tar) = {
             let _span = rec.map(|r| r.span(StageId::AmplitudeDenoising));
-            (
-                AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude),
-                AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude),
-            )
+            match amps {
+                Some((clean_base, clean_tar)) => (
+                    AmplitudeRatioProfile::from_cleaned(clean_base, a, b),
+                    AmplitudeRatioProfile::from_cleaned(clean_tar, a, b),
+                ),
+                None => (
+                    AmplitudeRatioProfile::compute(baseline, a, b, &self.config.amplitude),
+                    AmplitudeRatioProfile::compute(target, a, b, &self.config.amplitude),
+                ),
+            }
         };
         (phase_base, phase_tar, amp_base, amp_tar, selected)
     }
@@ -472,9 +514,10 @@ impl WiMi {
         a: usize,
         b: usize,
         rejected: &[usize],
+        amps: Option<(&CleanedAmplitudes, &CleanedAmplitudes)>,
     ) -> Result<MaterialFeature, FeatureError> {
         let (phase_base, phase_tar, amp_base, amp_tar, selected) =
-            self.pair_profiles(baseline, target, a, b, rejected);
+            self.pair_profiles(baseline, target, a, b, rejected, amps);
         let _span = self
             .recorder
             .as_ref()
@@ -796,14 +839,14 @@ fn scan_capture(cap: &CsiCapture, n_ant: usize) -> CapScan {
     let mut zero_rows = Vec::with_capacity(cap.len());
     let mut n_finite = 0usize;
     let mut saw_zero = false;
-    for p in cap.iter() {
-        let fin = p.is_finite();
+    for m in 0..cap.len() {
+        let fin = cap.packet_is_finite(m);
         n_finite += fin as usize;
         finite.push(fin);
-        let rows: Vec<bool> = (0..n_ant).map(|a| p.antenna_is_zero(a)).collect();
+        let rows: Vec<bool> = (0..n_ant).map(|a| cap.antenna_row_is_zero(m, a)).collect();
         if !saw_zero {
-            // `norm_sqr` is non-negative, so `<= 0.0` is the zero test.
-            saw_zero = (0..n_ant).any(|a| p.antenna_row(a).iter().any(|h| h.norm_sqr() <= 0.0));
+            // `packet_has_zero` uses `norm_sqr <= 0.0` as the zero test.
+            saw_zero = cap.packet_has_zero(m);
         }
         zero_rows.push(rows);
     }
@@ -924,11 +967,7 @@ fn screen<'a>(
     }
 
     let rebuild = |cap: &CsiCapture, keep: &[bool]| -> CsiCapture {
-        cap.iter()
-            .zip(keep)
-            .filter(|(_, &k)| k)
-            .map(|(p, _)| p.select_antennas(&survivors))
-            .collect()
+        cap.select_packets_antennas(keep, &survivors)
     };
     let (base, tar) = if salvaged {
         (
@@ -1123,10 +1162,9 @@ mod tests {
     /// Returns a copy of the capture with `antenna`'s rows zeroed in every
     /// packet from `start` on — a dead RF chain.
     fn kill_antenna(cap: &CsiCapture, antenna: usize, start: usize) -> CsiCapture {
-        cap.iter()
+        cap.packets()
             .enumerate()
-            .map(|(m, p)| {
-                let mut p = p.clone();
+            .map(|(m, mut p)| {
                 if m >= start {
                     for k in 0..p.n_subcarriers() {
                         *p.get_mut(antenna, k) = wimi_phy::complex::Complex::ZERO;
@@ -1140,9 +1178,8 @@ mod tests {
     /// Returns a copy of the capture with one `subcarrier` zeroed on
     /// `antenna` in every packet — a dead tone on a surviving RF chain.
     fn kill_subcarrier(cap: &CsiCapture, antenna: usize, subcarrier: usize) -> CsiCapture {
-        cap.iter()
-            .map(|p| {
-                let mut p = p.clone();
+        cap.packets()
+            .map(|mut p| {
                 *p.get_mut(antenna, subcarrier) = wimi_phy::complex::Complex::ZERO;
                 p
             })
@@ -1281,7 +1318,7 @@ mod tests {
     #[test]
     fn non_finite_packets_are_dropped_and_reported() {
         let (base, mut tar_src) = capture_pair(Liquid::Milk, 1, 40);
-        let mut packets: Vec<_> = tar_src.iter().cloned().collect();
+        let mut packets: Vec<_> = tar_src.packets().collect();
         *packets[5].get_mut(0, 0) = wimi_phy::complex::Complex::new(f64::NAN, 0.0);
         *packets[17].get_mut(2, 3) = wimi_phy::complex::Complex::new(0.0, f64::INFINITY);
         tar_src = CsiCapture::from_packets(packets);
@@ -1301,9 +1338,8 @@ mod tests {
         let (base, tar) = capture_pair(Liquid::Milk, 1, 10);
         // Every target packet goes non-finite.
         let packets: Vec<_> = tar
-            .iter()
-            .map(|p| {
-                let mut p = p.clone();
+            .packets()
+            .map(|mut p| {
                 *p.get_mut(0, 0) = wimi_phy::complex::Complex::new(f64::NAN, 0.0);
                 p
             })

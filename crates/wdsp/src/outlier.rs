@@ -35,6 +35,36 @@ pub fn reject_outliers_3sigma(xs: &[f64]) -> Vec<f64> {
     reject_outliers(xs, 3.0)
 }
 
+/// Scratch buffers for the allocation-free outlier-rejection variants.
+#[derive(Debug, Clone, Default)]
+pub struct OutlierScratch {
+    keep: Vec<bool>,
+    kept: Vec<usize>,
+}
+
+/// [`reject_outliers`] writing into a caller-owned output buffer, using
+/// `scratch` for the keep-mask and kept-index list. Returns the same bits
+/// as the allocating version.
+///
+/// # Panics
+///
+/// Panics if `k` is not positive.
+pub fn reject_outliers_into(xs: &[f64], k: f64, scratch: &mut OutlierScratch, out: &mut Vec<f64>) {
+    assert!(k > 0.0, "sigma multiplier must be positive");
+    out.clear();
+    out.extend_from_slice(xs);
+    if xs.is_empty() {
+        return;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    scratch.keep.clear();
+    scratch
+        .keep
+        .extend(xs.iter().map(|&x| (x - m).abs() <= k * s));
+    interpolate_masked_in(xs, &scratch.keep, &mut scratch.kept, out);
+}
+
 /// Generalised σ-rule outlier rejection with interpolation repair.
 ///
 /// # Panics
@@ -53,21 +83,30 @@ pub fn reject_outliers(xs: &[f64], k: f64) -> Vec<f64> {
 ///
 /// Panics if lengths differ.
 pub fn interpolate_masked(xs: &[f64], keep: &[bool]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    let mut kept = Vec::new();
+    interpolate_masked_in(xs, keep, &mut kept, &mut out);
+    out
+}
+
+/// In-place core of [`interpolate_masked`]: `out` must already hold a copy
+/// of `xs`; repaired samples are written over it. `kept_idx` is a reusable
+/// scratch list of kept indices.
+fn interpolate_masked_in(xs: &[f64], keep: &[bool], kept_idx: &mut Vec<usize>, out: &mut [f64]) {
     assert_eq!(xs.len(), keep.len(), "mask length must match data length");
     if xs.is_empty() || keep.iter().all(|&k| !k) {
-        return xs.to_vec();
+        return;
     }
     let n = xs.len();
-    let mut out = xs.to_vec();
-
-    let kept: Vec<usize> = (0..n).filter(|&i| keep[i]).collect();
+    kept_idx.clear();
+    kept_idx.extend((0..n).filter(|&i| keep[i]));
     for i in 0..n {
         if keep[i] {
             continue;
         }
         // Nearest kept neighbour on each side.
-        let left = kept.iter().rev().find(|&&j| j < i).copied();
-        let right = kept.iter().find(|&&j| j > i).copied();
+        let left = kept_idx.iter().rev().find(|&&j| j < i).copied();
+        let right = kept_idx.iter().find(|&&j| j > i).copied();
         out[i] = match (left, right) {
             (Some(l), Some(r)) => {
                 let t = (i - l) as f64 / (r - l) as f64;
@@ -78,7 +117,6 @@ pub fn interpolate_masked(xs: &[f64], keep: &[bool]) -> Vec<f64> {
             (None, None) => xs[i],
         };
     }
-    out
 }
 
 /// Hampel filter: windowed median/MAD outlier repair. Each sample farther
@@ -163,6 +201,22 @@ mod tests {
     fn empty_input_ok() {
         assert!(reject_outliers_3sigma(&[]).is_empty());
         assert!(sigma_mask(&[], 3.0).is_empty());
+    }
+
+    #[test]
+    fn scratch_variant_matches_allocating_version_bitwise() {
+        let mut scratch = OutlierScratch::default();
+        let mut out = Vec::new();
+        for xs in [series_with_outlier(), vec![5.0; 4], Vec::new()] {
+            for k in [1.5, 3.0] {
+                reject_outliers_into(&xs, k, &mut scratch, &mut out);
+                let reference = reject_outliers(&xs, k);
+                assert_eq!(out.len(), reference.len());
+                for (a, b) in out.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

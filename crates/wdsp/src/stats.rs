@@ -60,6 +60,24 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// Median computed through a caller-owned scratch buffer — identical to
+/// [`median`] but with no allocation once `buf` has grown to the series
+/// length.
+pub fn median_in(xs: &[f64], buf: &mut Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    buf.clear();
+    buf.extend_from_slice(xs);
+    buf.sort_by(f64::total_cmp);
+    let n = buf.len();
+    if n % 2 == 1 {
+        buf[n / 2]
+    } else {
+        (buf[n / 2 - 1] + buf[n / 2]) / 2.0
+    }
+}
+
 /// Median absolute deviation (unscaled).
 pub fn mad(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -76,6 +94,27 @@ pub fn mad(xs: &[f64]) -> f64 {
 /// threshold (citing Xu et al. 1994).
 pub fn robust_std(xs: &[f64]) -> f64 {
     mad(xs) / 0.6745
+}
+
+/// [`robust_std`] through a caller-owned scratch buffer. The median only
+/// depends on the sorted order, so reusing one buffer for both the series
+/// copy and the absolute deviations returns the same bits as the
+/// allocating version.
+pub fn robust_std_in(xs: &[f64], buf: &mut Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let med = median_in(xs, buf);
+    buf.clear();
+    buf.extend(xs.iter().map(|x| (x - med).abs()));
+    buf.sort_by(f64::total_cmp);
+    let n = buf.len();
+    let mad = if n % 2 == 1 {
+        buf[n / 2]
+    } else {
+        (buf[n / 2 - 1] + buf[n / 2]) / 2.0
+    };
+    mad / 0.6745
 }
 
 /// Linear Pearson correlation of two equal-length series.
@@ -209,6 +248,48 @@ pub fn phase_variance(angles: &[f64]) -> f64 {
     let m = circular_mean(angles);
     let centered: Vec<f64> = angles.iter().map(|&a| wrap_to_pi(a - m)).collect();
     centered.iter().map(|d| d * d).sum::<f64>() / centered.len() as f64
+}
+
+/// Computes [`trimmed_circular_mean`] and [`phase_variance`] of one angle
+/// series in a single pass over the shared circular mean, through a
+/// caller-owned deviation scratch buffer.
+///
+/// Both statistics reference every angle to `circular_mean(angles)`;
+/// computing them together evaluates that mean (and the per-angle
+/// `sin`/`cos`) once instead of twice, returning exactly the bits the two
+/// separate calls would.
+///
+/// # Panics
+///
+/// Panics if `trim_fraction` is not within `[0, 0.5]`.
+pub fn phase_summary(angles: &[f64], trim_fraction: f64, dev: &mut Vec<(f64, f64)>) -> (f64, f64) {
+    assert!(
+        (0.0..=0.5).contains(&trim_fraction),
+        "trim fraction must be within [0, 0.5]"
+    );
+    if angles.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let first = circular_mean(angles);
+    let variance = angles
+        .iter()
+        .map(|&a| {
+            let d = wrap_to_pi(a - first);
+            d * d
+        })
+        .sum::<f64>()
+        / angles.len() as f64;
+    let n_drop = ((angles.len() as f64) * trim_fraction).floor() as usize;
+    if n_drop == 0 || angles.len() - n_drop < 2 {
+        return (first, variance);
+    }
+    dev.clear();
+    dev.extend(angles.iter().map(|&a| (wrap_to_pi(a - first).abs(), a)));
+    dev.sort_by(|x, y| x.0.total_cmp(&y.0));
+    let (s, c) = dev[..angles.len() - n_drop]
+        .iter()
+        .fold((0.0, 0.0), |(s, c), &(_, a)| (s + a.sin(), c + a.cos()));
+    (s.atan2(c), variance)
 }
 
 #[cfg(test)]
@@ -345,6 +426,38 @@ mod tests {
         assert!(phase_variance(&wrapped) < 1e-3);
         let spread = [0.0, 1.0, 2.0, 3.0];
         assert!(phase_variance(&spread) > 0.5);
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_versions_bitwise() {
+        let xs: Vec<f64> = (0..97).map(|i| ((i as f64) * 1.7).sin() * 3.0).collect();
+        let mut buf = Vec::new();
+        assert_eq!(median_in(&xs, &mut buf).to_bits(), median(&xs).to_bits());
+        assert_eq!(
+            robust_std_in(&xs, &mut buf).to_bits(),
+            robust_std(&xs).to_bits()
+        );
+        assert_eq!(
+            median_in(&xs[..96], &mut buf).to_bits(),
+            median(&xs[..96]).to_bits()
+        );
+        assert!(median_in(&[], &mut buf).is_nan());
+        assert!(robust_std_in(&[], &mut buf).is_nan());
+    }
+
+    #[test]
+    fn phase_summary_matches_separate_calls_bitwise() {
+        let mut dev = Vec::new();
+        for n in [0usize, 1, 3, 4, 10, 57] {
+            let angles: Vec<f64> = (0..n).map(|i| wrap_to_pi((i as f64) * 2.9)).collect();
+            for trim in [0.0, 0.2, 0.5] {
+                let (m, v) = phase_summary(&angles, trim, &mut dev);
+                let m_ref = trimmed_circular_mean(&angles, trim);
+                let v_ref = phase_variance(&angles);
+                assert_eq!(m.to_bits(), m_ref.to_bits(), "mean n={n} trim={trim}");
+                assert_eq!(v.to_bits(), v_ref.to_bits(), "var n={n} trim={trim}");
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,8 @@
 //! median rule) leaves only noise behind, which is discarded before
 //! inverse transform.
 
-use super::{swt_decompose, swt_reconstruct, Wavelet};
-use crate::stats::robust_std;
+use super::{analyze_into, swt_decompose, swt_reconstruct, synthesize_into, Wavelet};
+use crate::stats::{robust_std, robust_std_in};
 
 /// Configuration of the correlation denoiser.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +39,20 @@ impl Default for CorrelationDenoiser {
     }
 }
 
+/// Reusable work area for [`CorrelationDenoiser::denoise_into`]. Holds the
+/// decomposition bands, filter taps and temporaries so a steady-state
+/// denoise call performs no heap allocation once the buffers have grown to
+/// the working size.
+#[derive(Debug, Clone, Default)]
+pub struct DenoiseScratch {
+    details: Vec<Vec<f64>>,
+    approx: Vec<f64>,
+    tmp: Vec<f64>,
+    corr: Vec<f64>,
+    sort: Vec<f64>,
+    highpass: Vec<f64>,
+}
+
 impl CorrelationDenoiser {
     /// Creates a denoiser with a given wavelet and level count, default
     /// iteration/threshold settings.
@@ -62,8 +76,22 @@ impl CorrelationDenoiser {
     /// upsampled filter still fits the signal — deeper levels would wrap
     /// circularly several times and smear energy instead of separating it.
     pub fn denoise(&self, xs: &[f64]) -> Vec<f64> {
+        let mut scratch = DenoiseScratch::default();
+        let mut out = Vec::new();
+        self.denoise_into(xs, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Self::denoise`] through caller-owned buffers: the cleaned series
+    /// is written into `out` and every intermediate band lives in
+    /// `scratch`. Returns the same bits as the allocating version with no
+    /// steady-state heap traffic.
+    // wlint: hot
+    pub fn denoise_into(&self, xs: &[f64], scratch: &mut DenoiseScratch, out: &mut Vec<f64>) {
+        out.clear();
         if xs.len() < 8 {
-            return xs.to_vec();
+            out.extend_from_slice(xs);
+            return;
         }
         let taps = self.wavelet.lowpass().len();
         let mut max_levels = 1usize;
@@ -73,25 +101,61 @@ impl CorrelationDenoiser {
         let levels = self.levels.min(max_levels);
         if levels < 2 {
             // Cannot form an adjacent-scale correlation; leave untouched.
-            return xs.to_vec();
+            out.extend_from_slice(xs);
+            return;
         }
-        let mut dec = swt_decompose(xs, self.wavelet, levels);
+        let h = self.wavelet.lowpass();
+        self.wavelet.highpass_into(&mut scratch.highpass);
+        if scratch.details.len() < levels {
+            scratch.details.resize_with(levels, Vec::new);
+        }
+        scratch.approx.clear();
+        scratch.approx.extend_from_slice(xs);
+        for l in 0..levels {
+            let stride = 1usize << l;
+            analyze_into(
+                &scratch.approx,
+                &scratch.highpass,
+                stride,
+                &mut scratch.details[l],
+            );
+            analyze_into(&scratch.approx, h, stride, &mut scratch.tmp);
+            std::mem::swap(&mut scratch.approx, &mut scratch.tmp);
+        }
 
         // Robust per-coefficient noise σ from the finest detail band
         // (Donoho's median rule, which the paper cites via Xu et al.).
-        let sigma = robust_std(&dec.details[0]);
+        let sigma = robust_std_in(&scratch.details[0], &mut scratch.sort);
         let n = xs.len() as f64;
 
         for l in 0..levels - 1 {
-            let cleaned = self.suppress_noise_at_scale(
-                &dec.details[l],
-                &dec.details[l + 1],
+            let (fine, coarse) = scratch.details.split_at_mut(l + 1);
+            self.suppress_noise_at_scale_in(
+                &mut fine[l],
+                &coarse[0],
                 self.threshold_scale * n * sigma * sigma,
+                &mut scratch.corr,
             );
-            dec.details[l] = cleaned;
         }
-        // Coarsest detail band: dominated by signal; keep as-is.
-        swt_reconstruct(&dec)
+        // Coarsest detail band: dominated by signal; keep as-is. Inverse
+        // transform level by level: `out` carries the low-pass branch,
+        // `tmp` the detail branch.
+        for l in (0..levels).rev() {
+            let stride = 1usize << l;
+            synthesize_into(&scratch.approx, h, stride, out);
+            synthesize_into(
+                &scratch.details[l],
+                &scratch.highpass,
+                stride,
+                &mut scratch.tmp,
+            );
+            scratch.approx.clear();
+            scratch
+                .approx
+                .extend(out.iter().zip(&scratch.tmp).map(|(a, d)| 0.5 * (a + d)));
+        }
+        out.clear();
+        out.extend_from_slice(&scratch.approx);
     }
 
     /// Iterative noise suppression on one detail band, using the adjacent
@@ -104,19 +168,20 @@ impl CorrelationDenoiser {
     /// concentrated at fine scale) and is zeroed. Coefficients the coarser
     /// scale confirms survive. Iterate until the band power `PW` falls to
     /// the robust noise-power threshold.
-    fn suppress_noise_at_scale(
+    fn suppress_noise_at_scale_in(
         &self,
-        band: &[f64],
+        w: &mut [f64],
         coarser: &[f64],
         noise_power_threshold: f64,
-    ) -> Vec<f64> {
-        let mut w = band.to_vec();
+        corr: &mut Vec<f64>,
+    ) {
         for _ in 0..self.max_iterations {
             let pw: f64 = w.iter().map(|v| v * v).sum();
             if pw <= noise_power_threshold {
                 break;
             }
-            let corr: Vec<f64> = w.iter().zip(coarser).map(|(a, b)| a * b).collect();
+            corr.clear();
+            corr.extend(w.iter().zip(coarser.iter()).map(|(a, b)| a * b));
             let pcorr: f64 = corr.iter().map(|c| c * c).sum();
             // A sum of squares is non-negative; non-positive means nothing
             // correlates.
@@ -137,7 +202,6 @@ impl CorrelationDenoiser {
                 break;
             }
         }
-        w
     }
 }
 
@@ -207,6 +271,87 @@ mod tests {
     fn error_rms(a: &[f64], b: &[f64]) -> f64 {
         let diff: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
         rms(&diff)
+    }
+
+    /// The pre-scratch denoiser, kept verbatim as the bitwise reference
+    /// for the arena-based rewrite.
+    fn denoise_reference(cfg: &CorrelationDenoiser, xs: &[f64]) -> Vec<f64> {
+        if xs.len() < 8 {
+            return xs.to_vec();
+        }
+        let taps = cfg.wavelet.lowpass().len();
+        let mut max_levels = 1usize;
+        while (taps - 1) * (1usize << max_levels) < xs.len() {
+            max_levels += 1;
+        }
+        let levels = cfg.levels.min(max_levels);
+        if levels < 2 {
+            return xs.to_vec();
+        }
+        let mut dec = swt_decompose(xs, cfg.wavelet, levels);
+        let sigma = robust_std(&dec.details[0]);
+        let n = xs.len() as f64;
+        for l in 0..levels - 1 {
+            let mut w = dec.details[l].clone();
+            let threshold = cfg.threshold_scale * n * sigma * sigma;
+            for _ in 0..cfg.max_iterations {
+                let pw: f64 = w.iter().map(|v| v * v).sum();
+                if pw <= threshold {
+                    break;
+                }
+                let corr: Vec<f64> = w
+                    .iter()
+                    .zip(&dec.details[l + 1])
+                    .map(|(a, b)| a * b)
+                    .collect();
+                let pcorr: f64 = corr.iter().map(|c| c * c).sum();
+                if pcorr <= 0.0 {
+                    w.iter_mut().for_each(|v| *v = 0.0);
+                    break;
+                }
+                let norm = (pw / pcorr).sqrt();
+                let mut zeroed = 0usize;
+                for m in 0..w.len() {
+                    if w[m].abs() > 0.0 && w[m].abs() >= (corr[m] * norm).abs() {
+                        w[m] = 0.0;
+                        zeroed += 1;
+                    }
+                }
+                if zeroed == 0 {
+                    break;
+                }
+            }
+            dec.details[l] = w;
+        }
+        swt_reconstruct(&dec)
+    }
+
+    #[test]
+    fn scratch_denoiser_matches_reference_bitwise_across_reuse() {
+        let mut scratch = DenoiseScratch::default();
+        let mut out = Vec::new();
+        for cfg in [
+            CorrelationDenoiser::default(),
+            CorrelationDenoiser::new(Wavelet::Haar, 3),
+            CorrelationDenoiser::new(Wavelet::Sym4, 2),
+        ] {
+            // Reusing one scratch across lengths and seeds must not leak
+            // state between calls.
+            for (n, seed) in [(5usize, 1u64), (64, 2), (256, 3), (33, 4), (128, 5)] {
+                let mut noisy = clean_signal(n.max(1));
+                noisy
+                    .iter_mut()
+                    .zip(pseudo_noise(n.max(1), seed, 0.05))
+                    .for_each(|(x, e)| *x += e);
+                add_impulses(&mut noisy, seed + 17, n / 16, 0.5);
+                cfg.denoise_into(&noisy, &mut scratch, &mut out);
+                let reference = denoise_reference(&cfg, &noisy);
+                assert_eq!(out.len(), reference.len(), "{} n={n}", cfg.wavelet);
+                for (i, (a, b)) in out.iter().zip(&reference).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} n={n} i={i}", cfg.wavelet);
+                }
+            }
+        }
     }
 
     #[test]

@@ -9,7 +9,9 @@
 
 pub mod denoise;
 
-pub use denoise::{correlation_denoise, soft_threshold_denoise, CorrelationDenoiser};
+pub use denoise::{
+    correlation_denoise, soft_threshold_denoise, CorrelationDenoiser, DenoiseScratch,
+};
 
 /// Orthonormal wavelet families available for the transform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -68,14 +70,20 @@ impl Wavelet {
 
     /// Quadrature-mirror high-pass filter `g[k] = (−1)^k · h[L−1−k]`.
     pub fn highpass(self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.highpass_into(&mut out);
+        out
+    }
+
+    /// [`Self::highpass`] written into a caller-owned buffer.
+    pub fn highpass_into(self, out: &mut Vec<f64>) {
         let h = self.lowpass();
         let l = h.len();
-        (0..l)
-            .map(|k| {
-                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-                sign * h[l - 1 - k]
-            })
-            .collect()
+        out.clear();
+        out.extend((0..l).map(|k| {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            sign * h[l - 1 - k]
+        }));
     }
 
     /// Human-readable name.
@@ -144,35 +152,61 @@ impl SwtDecomposition {
     }
 }
 
-/// Circular correlation of `x` with filter `h` upsampled by `stride`:
-/// `y[n] = Σ_k h[k]·x[(n + k·stride) mod N]`.
-fn analyze(x: &[f64], h: &[f64], stride: usize) -> Vec<f64> {
+/// Adds `hk · rot(x, off)` into `y`, where `rot` rotates `x` left by
+/// `off`: `y[i] += hk · x[(i + off) mod N]`.
+///
+/// The modular index walk is split at the wrap point into two contiguous
+/// slice passes so the compiler can vectorise both. Because the tap loop
+/// in [`analyze_into`]/[`synthesize_into`] is *outside* this call, every
+/// output element still accumulates its taps in the exact order the naive
+/// `Σ_k h[k]·x[…]` sum would — outputs are bitwise identical.
+#[inline]
+fn accumulate_rotated(y: &mut [f64], x: &[f64], hk: f64, off: usize) {
     let n = x.len();
-    (0..n)
-        .map(|i| {
-            h.iter()
-                .enumerate()
-                .map(|(k, &hk)| hk * x[(i + k * stride) % n])
-                .sum()
-        })
-        .collect()
+    let split = n - off;
+    for (yi, &xi) in y[..split].iter_mut().zip(&x[off..]) {
+        *yi += hk * xi;
+    }
+    for (yi, &xi) in y[split..].iter_mut().zip(&x[..off]) {
+        *yi += hk * xi;
+    }
 }
 
-/// Adjoint of [`analyze`]: circular convolution
-/// `y[n] = Σ_k h[k]·x[(n − k·stride) mod N]`.
-fn synthesize(x: &[f64], h: &[f64], stride: usize) -> Vec<f64> {
+/// Circular correlation of `x` with filter `h` upsampled by `stride`:
+/// `y[n] = Σ_k h[k]·x[(n + k·stride) mod N]`, written into `out`.
+// wlint: hot
+pub(crate) fn analyze_into(x: &[f64], h: &[f64], stride: usize, out: &mut Vec<f64>) {
     let n = x.len();
-    (0..n)
-        .map(|i| {
-            h.iter()
-                .enumerate()
-                .map(|(k, &hk)| {
-                    let idx = (i + n * h.len() * stride - k * stride) % n;
-                    hk * x[idx]
-                })
-                .sum()
-        })
-        .collect()
+    out.clear();
+    out.resize(n, 0.0);
+    for (k, &hk) in h.iter().enumerate() {
+        accumulate_rotated(out, x, hk, (k * stride) % n);
+    }
+}
+
+/// Adjoint of [`analyze_into`]: circular convolution
+/// `y[n] = Σ_k h[k]·x[(n − k·stride) mod N]`, written into `out`.
+// wlint: hot
+pub(crate) fn synthesize_into(x: &[f64], h: &[f64], stride: usize, out: &mut Vec<f64>) {
+    let n = x.len();
+    out.clear();
+    out.resize(n, 0.0);
+    for (k, &hk) in h.iter().enumerate() {
+        let off = (n - (k * stride) % n) % n;
+        accumulate_rotated(out, x, hk, off);
+    }
+}
+
+fn analyze(x: &[f64], h: &[f64], stride: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    analyze_into(x, h, stride, &mut out);
+    out
+}
+
+fn synthesize(x: &[f64], h: &[f64], stride: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    synthesize_into(x, h, stride, &mut out);
+    out
 }
 
 /// Multilevel stationary wavelet decomposition.
@@ -243,6 +277,57 @@ mod tests {
                 (2.0 * std::f64::consts::PI * (3.0 + 10.0 * t) * t).sin()
             })
             .collect()
+    }
+
+    /// Naive modular-index reference for [`analyze_into`] — the loop the
+    /// wrap-split kernel must match bit-for-bit.
+    fn analyze_ref(x: &[f64], h: &[f64], stride: usize) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                h.iter()
+                    .enumerate()
+                    .map(|(k, &hk)| hk * x[(i + k * stride) % n])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Naive reference for [`synthesize_into`].
+    fn synthesize_ref(x: &[f64], h: &[f64], stride: usize) -> Vec<f64> {
+        let n = x.len();
+        (0..n)
+            .map(|i| {
+                h.iter()
+                    .enumerate()
+                    .map(|(k, &hk)| {
+                        let idx = (i + n * h.len() * stride - k * stride) % n;
+                        hk * x[idx]
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wrap_split_kernels_match_naive_reference_bitwise() {
+        for &n in &[2usize, 7, 13, 33, 64, 101] {
+            let x = chirp(n);
+            for w in Wavelet::ALL {
+                let h = w.lowpass();
+                let g = w.highpass();
+                for level in 0..5 {
+                    let stride = 1usize << level;
+                    for f in [h, &g[..]] {
+                        let mut fast = Vec::new();
+                        analyze_into(&x, f, stride, &mut fast);
+                        assert_eq!(fast, analyze_ref(&x, f, stride), "{w} n={n} s={stride}");
+                        synthesize_into(&x, f, stride, &mut fast);
+                        assert_eq!(fast, synthesize_ref(&x, f, stride), "{w} n={n} s={stride}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

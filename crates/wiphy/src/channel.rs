@@ -138,6 +138,16 @@ pub struct PacketJitter {
     multipliers: Vec<Complex>,
 }
 
+impl PacketJitter {
+    /// An empty jitter state, used as the reusable scratch target of
+    /// [`MultipathChannel::draw_jitter_into`].
+    pub fn empty() -> PacketJitter {
+        PacketJitter {
+            multipliers: Vec::new(),
+        }
+    }
+}
+
 impl MultipathChannel {
     /// Realises a channel for an environment around a link from `tx` to the
     /// neighbourhood of `rx_center`, using `rng` for scatterer placement.
@@ -209,19 +219,30 @@ impl MultipathChannel {
     /// Draws the per-packet jitter state: static scatterers stay put,
     /// dynamic ones get a fresh phase/gain perturbation.
     pub fn draw_jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> PacketJitter {
-        let multipliers = self
-            .scatterers
-            .iter()
-            .map(|s| {
-                if !s.dynamic {
-                    return Complex::ONE;
-                }
+        let mut jitter = PacketJitter {
+            multipliers: Vec::new(),
+        };
+        self.draw_jitter_into(rng, &mut jitter);
+        jitter
+    }
+
+    /// [`Self::draw_jitter`] into a caller-owned jitter state, reusing its
+    /// multiplier buffer — the per-packet capture loop's allocation-free
+    /// variant. RNG draw order is identical to `draw_jitter`.
+    // wlint: hot
+    pub fn draw_jitter_into<R: Rng + ?Sized>(&self, rng: &mut R, jitter: &mut PacketJitter) {
+        jitter.multipliers.clear();
+        jitter.multipliers.reserve(self.scatterers.len());
+        for s in &self.scatterers {
+            let m = if !s.dynamic {
+                Complex::ONE
+            } else {
                 let g: f64 = 1.0 + self.gain_jitter_std * rng.sample(StandardNormalShim);
                 let p: f64 = self.phase_jitter_std * rng.sample(StandardNormalShim);
                 Complex::from_polar(g.max(0.0), p)
-            })
-            .collect();
-        PacketJitter { multipliers }
+            };
+            jitter.multipliers.push(m);
+        }
     }
 
     /// A jitter state that leaves the channel static (for deterministic tests).

@@ -29,7 +29,7 @@
 //! ```
 
 use crate::complex::Complex;
-use crate::csi::{CsiCapture, CsiPacket};
+use crate::csi::CsiCapture;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -242,27 +242,31 @@ impl FaultPlan {
         let n = capture.len();
         let n_ant = capture.n_antennas();
         let n_sub = capture.n_subcarriers();
+        let stride = n_ant * n_sub;
 
         // Stale duplicates first: the driver re-delivers the previous
         // frame's CSI. Applied on the original timeline, before losses.
-        let mut packets: Vec<CsiPacket> = Vec::with_capacity(n);
-        packets.push(capture.packet(0).clone());
+        // Duplicates chain (a stale of a stale repeats the same frame), so
+        // the copy source is the *output's* previous row.
+        let mut out = capture.clone();
         for m in 1..n {
             if rng.gen::<f64>() < self.stale {
-                let prev = packets[m - 1].clone();
-                packets.push(prev);
-            } else {
-                packets.push(capture.packet(m).clone());
+                let (re, im) = out.planes_mut();
+                re.copy_within((m - 1) * stride..m * stride, m * stride);
+                im.copy_within((m - 1) * stride..m * stride, m * stride);
             }
         }
 
-        // Packet loss: frames that never made it off the air.
-        let kept: Vec<CsiPacket> = packets
-            .into_iter()
-            .filter(|_| rng.gen::<f64>() >= self.packet_loss)
-            .collect();
-        let mut packets = kept;
-        let n = packets.len();
+        // Packet loss: frames that never made it off the air. Draw order
+        // matches the historical per-packet filter: one draw per packet on
+        // the stale-adjusted timeline.
+        let mut keep = Vec::with_capacity(n);
+        for _ in 0..n {
+            keep.push(rng.gen::<f64>() >= self.packet_loss);
+        }
+        let survivors: Vec<usize> = (0..n_ant).collect();
+        let mut out = out.select_packets_antennas(&keep, &survivors);
+        let n = out.len();
         if n == 0 {
             return CsiCapture::new();
         }
@@ -272,10 +276,10 @@ impl FaultPlan {
         for a in 0..n_ant {
             if rng.gen::<f64>() < self.antenna_dropout {
                 let start = rng.gen_range(0..n);
-                for p in packets.iter_mut().skip(start) {
-                    for k in 0..n_sub {
-                        *p.get_mut(a, k) = Complex::ZERO;
-                    }
+                for m in start..n {
+                    let (re, im) = out.packet_planes_mut(m);
+                    re[a * n_sub..(a + 1) * n_sub].fill(0.0);
+                    im[a * n_sub..(a + 1) * n_sub].fill(0.0);
                 }
             }
         }
@@ -286,34 +290,37 @@ impl FaultPlan {
             let start = rng.gen_range(0..n);
             let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
             let gain = 10f64.powf(sign * self.agc_jump_db / 20.0);
-            for p in packets.iter_mut().skip(start) {
-                for a in 0..n_ant {
-                    for k in 0..n_sub {
-                        let h = p.get_mut(a, k);
-                        *h = *h * gain;
-                    }
-                }
+            let (re, im) = out.planes_mut();
+            for (r, i) in re[start * stride..]
+                .iter_mut()
+                .zip(im[start * stride..].iter_mut())
+            {
+                let h = Complex::new(*r, *i) * gain;
+                *r = h.re;
+                *i = h.im;
             }
         }
 
         // Interference bursts: a strong co-channel transmission corrupting
-        // a run of consecutive packets across the whole band.
+        // a run of consecutive packets across the whole band. The flat
+        // plane order of one packet matches the historical (antenna,
+        // subcarrier) draw order exactly.
         let mut burst_left = 0usize;
-        for p in packets.iter_mut() {
+        for m in 0..n {
             if burst_left == 0 && rng.gen::<f64>() < self.interference {
                 burst_left = self.interference_len.max(1);
             }
             if burst_left > 0 {
                 burst_left -= 1;
-                for a in 0..n_ant {
-                    for k in 0..n_sub {
-                        let spike = Complex::from_polar(
-                            self.interference_magnitude * rng.gen::<f64>(),
-                            rng.gen_range(0.0..std::f64::consts::TAU),
-                        );
-                        let h = p.get_mut(a, k);
-                        *h += spike;
-                    }
+                let (re, im) = out.packet_planes_mut(m);
+                for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+                    let spike = Complex::from_polar(
+                        self.interference_magnitude * rng.gen::<f64>(),
+                        rng.gen_range(0.0..std::f64::consts::TAU),
+                    );
+                    let h = Complex::new(*r, *i) + spike;
+                    *r = h.re;
+                    *i = h.im;
                 }
             }
         }
@@ -321,29 +328,23 @@ impl FaultPlan {
         // ADC saturation: clip I/Q at a fraction of the capture's peak
         // component, flattening the strongest subcarriers.
         if rng.gen::<f64>() < self.saturation {
+            let (re, im) = out.planes_mut();
             let mut peak: f64 = 0.0;
-            for p in &packets {
-                for a in 0..n_ant {
-                    for k in 0..n_sub {
-                        let h = p.get(a, k);
-                        peak = peak.max(h.re.abs()).max(h.im.abs());
-                    }
-                }
+            for (&r, &i) in re.iter().zip(im.iter()) {
+                peak = peak.max(r.abs()).max(i.abs());
             }
             let clip = self.clip_level * peak;
             if clip > 0.0 {
-                for p in packets.iter_mut() {
-                    for a in 0..n_ant {
-                        for k in 0..n_sub {
-                            let h = p.get_mut(a, k);
-                            *h = Complex::new(h.re.clamp(-clip, clip), h.im.clamp(-clip, clip));
-                        }
-                    }
+                for x in re.iter_mut() {
+                    *x = x.clamp(-clip, clip);
+                }
+                for x in im.iter_mut() {
+                    *x = x.clamp(-clip, clip);
                 }
             }
         }
 
-        CsiCapture::from_packets(packets)
+        out
     }
 }
 

@@ -100,13 +100,53 @@ impl HardwareProfile {
 
     /// Applies all impairments to a packet in place.
     ///
+    /// Convenience wrapper over [`HardwareProfile::apply_planes`] for the
+    /// array-of-structs [`CsiPacket`] layout (tests, single frames). The
+    /// simulator's capture loop calls `apply_planes` on the capture's flat
+    /// planes directly.
+    pub fn apply<R: Rng + ?Sized>(&self, packet: &mut CsiPacket, rng: &mut R) {
+        let n_ant = packet.n_antennas();
+        let n_sub = packet.n_subcarriers();
+        let mut re = Vec::with_capacity(n_ant * n_sub);
+        let mut im = Vec::with_capacity(n_ant * n_sub);
+        for a in 0..n_ant {
+            for h in packet.antenna_row(a) {
+                re.push(h.re);
+                im.push(h.im);
+            }
+        }
+        self.apply_planes(&mut re, &mut im, n_ant, n_sub, rng);
+        for a in 0..n_ant {
+            for k in 0..n_sub {
+                *packet.get_mut(a, k) = Complex::new(re[a * n_sub + k], im[a * n_sub + k]);
+            }
+        }
+    }
+
+    /// Applies all impairments to one packet stored as flat antenna-major
+    /// `(re, im)` planes of length `n_antennas · n_subcarriers` — the
+    /// allocation-free hot path.
+    ///
     /// The phase corruption (CFO intercept + SFO/PBD slope) and the AGC
     /// wobble are drawn once per packet and applied to *every antenna
     /// identically*, modelling the shared oscillator/sampling clock of one
     /// NIC. Noise, gain ripple, impulse bursts and outliers are per antenna.
-    pub fn apply<R: Rng + ?Sized>(&self, packet: &mut CsiPacket, rng: &mut R) {
-        let n_ant = packet.n_antennas();
-        let n_sub = packet.n_subcarriers();
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane lengths differ from
+    /// `n_antennas · n_subcarriers`.
+    // wlint: hot
+    pub fn apply_planes<R: Rng + ?Sized>(
+        &self,
+        re: &mut [f64],
+        im: &mut [f64],
+        n_antennas: usize,
+        n_subcarriers: usize,
+        rng: &mut R,
+    ) {
+        assert_eq!(re.len(), n_antennas * n_subcarriers, "re plane length");
+        assert_eq!(im.len(), n_antennas * n_subcarriers, "im plane length");
 
         // Common-to-all-antennas corruption.
         let (cfo_intercept, slope) = if self.phase_corruption {
@@ -119,7 +159,7 @@ impl HardwareProfile {
         };
         let agc = db_to_amp(self.agc_wobble_db * rng.sample(StandardNormal));
 
-        for a in 0..n_ant {
+        for a in 0..n_antennas {
             let ripple = db_to_amp(self.antenna_gain_ripple_db * rng.sample(StandardNormal));
             let impulse_hit = rng.gen::<f64>() < self.impulse_probability;
             let outlier_hit = rng.gen::<f64>() < self.outlier_probability;
@@ -134,31 +174,36 @@ impl HardwareProfile {
                 1.0
             };
 
-            for k in 0..n_sub {
-                let h = packet.get_mut(a, k);
+            let gain = agc * ripple * outlier_gain;
+            let row = a * n_subcarriers;
+            for k in 0..n_subcarriers {
+                let i = row + k;
+                let mut h = Complex::new(re[i], im[i]);
                 // k(λ_b + λ_s) + β phase corruption, Eq. (5).
                 let corrupt = Complex::cis(cfo_intercept + slope * k as f64);
-                *h = *h * corrupt * (agc * ripple * outlier_gain);
+                h = h * corrupt * gain;
                 // Impulse burst: a short broadband additive spike.
                 if impulse_hit {
                     let spike = Complex::from_polar(
                         self.impulse_magnitude * rng.gen::<f64>(),
                         rng.gen_range(0.0..std::f64::consts::TAU),
                     );
-                    *h += spike;
+                    h += spike;
                 }
                 // Thermal noise.
                 if self.noise_std > 0.0 {
-                    *h += Complex::new(
+                    h += Complex::new(
                         self.noise_std * rng.sample(StandardNormal),
                         self.noise_std * rng.sample(StandardNormal),
                     );
                 }
+                re[i] = h.re;
+                im[i] = h.im;
             }
         }
 
         if self.quantize_8bit {
-            quantize_intel5300(packet);
+            quantize_intel5300_planes(re, im);
         }
     }
 }
@@ -172,12 +217,30 @@ fn db_to_amp(db: f64) -> f64 {
 pub fn quantize_intel5300(packet: &mut CsiPacket) {
     let n_ant = packet.n_antennas();
     let n_sub = packet.n_subcarriers();
-    let mut max_c: f64 = 0.0;
+    let mut re = Vec::with_capacity(n_ant * n_sub);
+    let mut im = Vec::with_capacity(n_ant * n_sub);
+    for a in 0..n_ant {
+        for h in packet.antenna_row(a) {
+            re.push(h.re);
+            im.push(h.im);
+        }
+    }
+    quantize_intel5300_planes(&mut re, &mut im);
     for a in 0..n_ant {
         for k in 0..n_sub {
-            let h = packet.get(a, k);
-            max_c = max_c.max(h.re.abs()).max(h.im.abs());
+            *packet.get_mut(a, k) = Complex::new(re[a * n_sub + k], im[a * n_sub + k]);
         }
+    }
+}
+
+/// [`quantize_intel5300`] on one packet's flat `(re, im)` planes — the
+/// allocation-free hot path. The lanes are scanned in plane order, which
+/// matches the packet's antenna-major `(a, k)` order exactly.
+// wlint: hot
+pub fn quantize_intel5300_planes(re: &mut [f64], im: &mut [f64]) {
+    let mut max_c: f64 = 0.0;
+    for (&r, &i) in re.iter().zip(im.iter()) {
+        max_c = max_c.max(r.abs()).max(i.abs());
     }
     // `max_c` is a maximum of absolute values, so non-positive means the
     // packet is all-zero and there is nothing to quantise.
@@ -185,14 +248,11 @@ pub fn quantize_intel5300(packet: &mut CsiPacket) {
         return;
     }
     let scale = 127.0 / max_c;
-    for a in 0..n_ant {
-        for k in 0..n_sub {
-            let h = packet.get_mut(a, k);
-            *h = Complex::new(
-                (h.re * scale).round() / scale,
-                (h.im * scale).round() / scale,
-            );
-        }
+    for x in re.iter_mut() {
+        *x = (*x * scale).round() / scale;
+    }
+    for x in im.iter_mut() {
+        *x = (*x * scale).round() / scale;
     }
 }
 

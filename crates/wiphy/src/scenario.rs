@@ -415,6 +415,15 @@ pub struct Simulator {
     /// Optional flight-recorder sink mirroring `recorder` as ordered
     /// events (same zero-cost-when-`None` contract).
     trace: Option<std::sync::Arc<wimi_trace::TraceSink>>,
+    /// Reusable per-packet jitter scratch: the capture loop draws into
+    /// this instead of allocating a fresh multiplier vector per packet.
+    /// Pure scratch — never read across packets, so it is excluded from
+    /// equality/serialisation concerns (the derive on `Clone` copies it,
+    /// which is harmless).
+    jitter_scratch: crate::channel::PacketJitter,
+    /// Reusable per-packet ray-perturbation scratch (one entry per
+    /// antenna); same contract as `jitter_scratch`.
+    perturb_scratch: Vec<Complex>,
 }
 
 /// Static multipath path gains for every (antenna, subcarrier) of a
@@ -489,6 +498,8 @@ impl Simulator {
             captures_taken: 0,
             recorder: None,
             trace: None,
+            jitter_scratch: crate::channel::PacketJitter::empty(),
+            perturb_scratch: Vec::new(),
         }
     }
 
@@ -579,15 +590,47 @@ impl Simulator {
             .collect()
     }
 
-    /// Captures one CSI packet.
+    /// Captures one CSI packet (materialised into the array-of-structs
+    /// [`CsiPacket`] shape; the capture loop writes into a [`CsiCapture`]'s
+    /// flat planes directly via [`Simulator::packet_into`]).
     pub fn packet(&mut self) -> CsiPacket {
         let n_ant = self.scenario.n_antennas;
         let n_sub = self.freqs.len();
-        let jitter = self.multipath.draw_jitter(&mut self.rng);
+        let mut re = vec![0.0; n_ant * n_sub];
+        let mut im = vec![0.0; n_ant * n_sub];
+        self.packet_into(&mut re, &mut im);
+        let data = re
+            .iter()
+            .zip(&im)
+            .map(|(&r, &i)| Complex::new(r, i))
+            .collect();
+        CsiPacket::new(n_ant, n_sub, data)
+    }
+
+    /// Simulates one packet into antenna-major `(re, im)` plane slices of
+    /// length `n_antennas · n_subcarriers` — the allocation-free hot path
+    /// (jitter and perturbation draws go into simulator-owned scratch).
+    /// RNG draw order matches the historical per-packet implementation
+    /// exactly: jitter, then one perturbation per antenna, then hardware.
+    // wlint: hot
+    fn packet_into(&mut self, re: &mut [f64], im: &mut [f64]) {
+        let n_ant = self.scenario.n_antennas;
+        let n_sub = self.freqs.len();
+
+        let mut jitter = std::mem::replace(
+            &mut self.jitter_scratch,
+            crate::channel::PacketJitter::empty(),
+        );
+        self.multipath.draw_jitter_into(&mut self.rng, &mut jitter);
 
         // Per-packet flow/diffraction perturbation, one draw per antenna
         // (same RNG draw order as the uncached implementation).
-        let perturbs: Vec<Complex> = (0..n_ant).map(|_| self.draw_ray_perturbation()).collect();
+        let mut perturbs = std::mem::take(&mut self.perturb_scratch);
+        perturbs.clear();
+        for _ in 0..n_ant {
+            let p = self.draw_ray_perturbation();
+            perturbs.push(p);
+        }
 
         // Per-antenna target insertion across subcarriers: invariant until
         // `set_liquid`, so it is computed once and cached (take/put-back
@@ -597,9 +640,9 @@ impl Simulator {
             .take()
             .unwrap_or_else(|| self.compute_target_insertions());
 
-        let mut packet = CsiPacket::zeros(n_ant, n_sub);
         for a in 0..n_ant {
             let perturb = perturbs[a];
+            let row = a * n_sub;
             let subcarriers = self.los[a]
                 .iter()
                 .zip(&insertions[a])
@@ -608,13 +651,18 @@ impl Simulator {
             for (k, ((&los, &insertion), gains)) in subcarriers {
                 let through = los * insertion * perturb;
                 let mp = self.multipath.response_from_gains(gains, &jitter);
-                *packet.get_mut(a, k) = through + mp;
+                let h = through + mp;
+                re[row + k] = h.re;
+                im[row + k] = h.im;
             }
         }
 
-        self.scenario.hardware.apply(&mut packet, &mut self.rng);
+        self.scenario
+            .hardware
+            .apply_planes(re, im, n_ant, n_sub, &mut self.rng);
         self.insertions_cache = Some(insertions);
-        packet
+        self.jitter_scratch = jitter;
+        self.perturb_scratch = perturbs;
     }
 
     /// Per-antenna, per-subcarrier complex insertion factor of the beaker
@@ -687,11 +735,15 @@ impl CsiSource for Simulator {
             .map(|r| r.span(wimi_obs::StageId::Capture));
         let trace = self.trace.clone();
         let _trace_span = trace.as_ref().map(|t| t.span(wimi_obs::StageId::Capture));
-        let mut packets = Vec::with_capacity(n_packets);
-        for _ in 0..n_packets {
-            packets.push(self.packet());
+        let n_ant = self.scenario.n_antennas;
+        let n_sub = self.freqs.len();
+        let mut clean = CsiCapture::zeros(n_packets, n_ant, n_sub);
+        for m in 0..n_packets {
+            let (re, im) = clean.packet_planes_mut(m);
+            // The borrow of `clean`'s planes is disjoint from `self`, so
+            // the packet loop runs with zero per-packet allocation.
+            self.packet_into(re, im);
         }
-        let clean = CsiCapture::from_packets(packets);
         let nonce = self.captures_taken;
         self.captures_taken = self.captures_taken.wrapping_add(1);
         if let Some(rec) = &self.recorder {
@@ -840,8 +892,8 @@ mod tests {
 
         let phase_diff = |cap: &CsiCapture| {
             let (s, c) = cap
-                .iter()
-                .map(|p| (p.get(0, 15) * p.get(1, 15).conj()).arg())
+                .phase_difference_series(0, 1, 15)
+                .into_iter()
                 .fold((0.0f64, 0.0f64), |(s, c), a| (s + a.sin(), c + a.cos()));
             s.atan2(c)
         };

@@ -58,6 +58,9 @@ pub struct LexOutput {
     pub pragmas: Vec<Pragma>,
     /// Lines holding a malformed `wlint:` pragma (bad syntax or no reason).
     pub bad_pragmas: Vec<(u32, String)>,
+    /// Lines holding a `// wlint: hot` marker: the next `fn` is a hot-path
+    /// function whose body must not allocate (see `hot-path-alloc`).
+    pub hot_markers: Vec<u32>,
 }
 
 /// Tokenizes `source`, folding away comments, strings and char literals.
@@ -224,6 +227,12 @@ fn scan_pragma(text: &str, line: u32, standalone: bool, out: &mut LexOutput) {
         return;
     };
     let rest = rest.trim();
+    if rest == "hot" {
+        // `// wlint: hot` marks the next `fn` as a hot-path function:
+        // the hot-path-alloc rule bans heap allocation inside its body.
+        out.hot_markers.push(line);
+        return;
+    }
     let Some(inner) = rest.strip_prefix("allow(") else {
         out.bad_pragmas
             .push((line, format!("unrecognised wlint pragma: `{trimmed}`")));
@@ -546,6 +555,19 @@ let x = v.pop(); // wlint: allow(float-eq) - exact sentinel comparison
         assert!(!out.pragmas[1].standalone);
         assert_eq!(out.pragmas[1].rule, "float-eq");
         assert_eq!(out.bad_pragmas.len(), 2);
+    }
+
+    #[test]
+    fn hot_marker_is_recorded_not_rejected() {
+        let src = "
+// wlint: hot
+fn inner(x: &mut [f64]) {}
+// wlint: hotter
+";
+        let out = lex(src);
+        assert_eq!(out.hot_markers, vec![2]);
+        assert_eq!(out.bad_pragmas.len(), 1, "`hotter` is not a marker");
+        assert!(out.pragmas.is_empty());
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub enum Rule {
     UnitNewtype,
     /// A malformed `wlint:` pragma (bad syntax or missing justification).
     BadPragma,
+    /// Heap allocation inside a `// wlint: hot` function: the hot path
+    /// runs per packet/subcarrier and must reuse caller-provided scratch.
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -118,11 +121,12 @@ impl Rule {
             Rule::FloatCast => "float-cast",
             Rule::UnitNewtype => "unit-newtype",
             Rule::BadPragma => "bad-pragma",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
     /// All rules, for `--list-rules` style reporting.
-    pub const ALL: [Rule; 9] = [
+    pub const ALL: [Rule; 10] = [
         Rule::WallClock,
         Rule::AmbientRng,
         Rule::HashCollections,
@@ -132,6 +136,7 @@ impl Rule {
         Rule::FloatCast,
         Rule::UnitNewtype,
         Rule::BadPragma,
+        Rule::HotPathAlloc,
     ];
 
     /// One-line description of the invariant the rule protects.
@@ -148,6 +153,9 @@ impl Rule {
             Rule::FloatCast => "no bare `as` integer casts in CSI quantisation paths",
             Rule::UnitNewtype => "dimensional public fn params must use unit newtypes, not f64",
             Rule::BadPragma => "wlint pragmas must name a rule and give a justification",
+            Rule::HotPathAlloc => {
+                "no heap allocation (Vec::new()/vec!/collect/to_vec) in `// wlint: hot` functions"
+            }
         }
     }
 }
@@ -485,7 +493,143 @@ pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
         scan_unit_newtype(rel_path, tokens, &in_test, &mut found);
     }
 
+    scan_hot_path_alloc(rel_path, tokens, &lexed.hot_markers, &mut found);
+
     apply_pragmas(rel_path, found, &lexed.pragmas)
+}
+
+/// Constructors whose *call* allocates; a bare path (e.g. `Vec::new` passed
+/// to `resize_with` as a constructor function) does not fire.
+const ALLOC_CTOR_TYPES: [&str; 7] = [
+    "Vec",
+    "VecDeque",
+    "Box",
+    "String",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+];
+
+/// Constructor method names that allocate when called on an
+/// [`ALLOC_CTOR_TYPES`] type.
+const ALLOC_CTOR_METHODS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// Method calls that allocate a fresh buffer regardless of receiver.
+const ALLOC_METHODS: [&str; 4] = ["collect", "to_vec", "to_owned", "to_string"];
+
+/// How many lines below a `// wlint: hot` marker the marked `fn` may start
+/// (attributes and visibility qualifiers sit in between).
+const HOT_MARKER_WINDOW: u32 = 5;
+
+/// Enforces allocation-freedom inside `// wlint: hot` functions: the body
+/// of the `fn` following each marker must not call `Vec::new()`/`vec![]`/
+/// `.collect()`/`.to_vec()`/... — hot-path code reuses caller scratch.
+fn scan_hot_path_alloc(
+    rel_path: &str,
+    tokens: &[Token],
+    hot_markers: &[u32],
+    found: &mut Vec<Violation>,
+) {
+    for &marker in hot_markers {
+        // Bind the marker to the first `fn` on a later line, within a small
+        // window so a stray marker cannot silently cover distant code.
+        let fn_idx = tokens.iter().position(|t| {
+            t.line > marker
+                && t.line <= marker + HOT_MARKER_WINDOW
+                && matches!(&t.kind, Tok::Ident(s) if s == "fn")
+        });
+        let Some(fn_idx) = fn_idx else {
+            found.push(Violation {
+                rule: Rule::HotPathAlloc,
+                file: rel_path.to_string(),
+                line: marker,
+                message: format!(
+                    "`// wlint: hot` marker does not precede a `fn` within {HOT_MARKER_WINDOW} lines"
+                ),
+            });
+            continue;
+        };
+        let fn_name = match tokens.get(fn_idx + 1).map(|t| &t.kind) {
+            Some(Tok::Ident(s)) => s.clone(),
+            _ => String::from("?"),
+        };
+        // Find the body: first `{` before a top-level `;` (a `;` means a
+        // bodiless trait-method signature — nothing to scan).
+        let mut k = fn_idx + 1;
+        let mut open = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                Tok::Punct("{") => {
+                    open = Some(k);
+                    break;
+                }
+                Tok::Punct(";") => break,
+                _ => k += 1,
+            }
+        }
+        let Some(open) = open else { continue };
+        let mut depth = 0usize;
+        let mut close = tokens.len().saturating_sub(1);
+        for (n, t) in tokens.iter().enumerate().skip(open) {
+            match t.kind {
+                Tok::Punct("{") => depth += 1,
+                Tok::Punct("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = n;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        for idx in open..=close {
+            let t = &tokens[idx];
+            let next = tokens.get(idx + 1).map(|t| &t.kind);
+            let next2 = tokens.get(idx + 2).map(|t| &t.kind);
+            let next3 = tokens.get(idx + 3).map(|t| &t.kind);
+            let what: Option<String> = match &t.kind {
+                // `vec![...]` / `format!(...)` macro allocations.
+                Tok::Ident(s)
+                    if (s == "vec" || s == "format") && next == Some(&Tok::Punct("!")) =>
+                {
+                    Some(format!("{s}!"))
+                }
+                // `Vec::new(...)`, `String::from(...)`, ... — the trailing
+                // `(` is required, so passing `Vec::new` as a constructor
+                // function (e.g. to `resize_with`) stays legal.
+                Tok::Ident(s) if ALLOC_CTOR_TYPES.contains(&s.as_str()) => {
+                    match (next, next2, next3) {
+                        (Some(Tok::Punct("::")), Some(Tok::Ident(m)), Some(Tok::Punct("(")))
+                            if ALLOC_CTOR_METHODS.contains(&m.as_str()) =>
+                        {
+                            Some(format!("{s}::{m}()"))
+                        }
+                        _ => None,
+                    }
+                }
+                // `.collect()`, `.to_vec()`, `.to_owned()`, `.to_string()`.
+                Tok::Punct(".") => match next {
+                    Some(Tok::Ident(m)) if ALLOC_METHODS.contains(&m.as_str()) => {
+                        Some(format!(".{m}()"))
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(what) = what {
+                found.push(Violation {
+                    rule: Rule::HotPathAlloc,
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{what}` allocates inside hot-path fn `{fn_name}`; reuse caller-provided scratch"
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Scans for `pub fn` signatures taking dimensionally named raw `f64`
@@ -769,6 +913,78 @@ fn g(x: f64) { assert!(x == 0.5, \"exact\"); }
         let r = lint_source(LIB, src);
         assert_eq!(r.violations.len(), 2);
         assert!(lint_source(APP, src).violations.is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_inside_marked_fn() {
+        let src = "
+// wlint: hot
+fn hot(out: &mut Vec<f64>) {
+    let v: Vec<f64> = Vec::new();
+    let w = vec![0.0];
+    let c: Vec<f64> = w.iter().map(|x| x + 1.0).collect();
+    out.extend(c);
+    let _ = v;
+}
+fn cold() -> Vec<f64> {
+    Vec::new()
+}
+";
+        let r = lint_source(LIB, src);
+        let hot: Vec<&Violation> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::HotPathAlloc)
+            .collect();
+        assert_eq!(hot.len(), 3, "{:?}", hot);
+        assert!(hot.iter().all(|v| v.line >= 4 && v.line <= 6));
+    }
+
+    #[test]
+    fn hot_path_alloc_permits_constructor_paths_and_scratch_reuse() {
+        // `Vec::new` as a *function reference* (no call parens) is how
+        // `resize_with` grows a scratch pool once — that must stay legal.
+        let src = "
+// wlint: hot
+fn hot(scratch: &mut Scratch, out: &mut Vec<f64>) {
+    scratch.details.resize_with(4, Vec::new);
+    out.clear();
+    out.extend_from_slice(&scratch.tmp);
+}
+";
+        let r = lint_source(LIB, src);
+        assert!(
+            !r.violations.iter().any(|v| v.rule == Rule::HotPathAlloc),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn hot_path_alloc_is_pragma_suppressable() {
+        let src = "
+// wlint: hot
+fn hot(out: &mut Vec<Vec<f64>>) {
+    // wlint: allow(hot-path-alloc) — one-time pool growth, reused after
+    out.resize(4, Vec::new());
+}
+";
+        let r = lint_source(LIB, src);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.suppressed[0].rule, Rule::HotPathAlloc);
+    }
+
+    #[test]
+    fn hot_marker_must_precede_a_fn() {
+        let src = "
+// wlint: hot
+const X: usize = 4;
+";
+        let r = lint_source(LIB, src);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.violations[0].rule, Rule::HotPathAlloc);
+        assert!(r.violations[0].message.contains("does not precede"));
     }
 
     #[test]

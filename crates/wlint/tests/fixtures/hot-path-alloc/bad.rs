@@ -1,0 +1,6 @@
+// wlint: hot
+fn denoise_packet(xs: &[f64], out: &mut Vec<f64>) {
+    let tmp: Vec<f64> = xs.iter().map(|x| x * 0.5).collect();
+    out.clear();
+    out.extend_from_slice(&tmp);
+}

@@ -90,6 +90,11 @@ fn bad_pragma_fixture() {
 }
 
 #[test]
+fn hot_path_alloc_fixture() {
+    check_rule(Rule::HotPathAlloc);
+}
+
+#[test]
 fn pragma_suppressions_are_recorded_not_dropped() {
     // The pragma'd clean fixtures must report their suppressions so the
     // allow-list stays auditable.

@@ -16,6 +16,15 @@
 //! its per-item randomness from per-item seeds, so output is bitwise
 //! identical for any `WIMI_THREADS` value.
 //!
+//! # Chunking
+//!
+//! Workers claim *chunks* of consecutive indices rather than single items,
+//! so cheap items don't pay one atomic claim (and its cache-line bounce)
+//! each. The chunk size comes from the `WIMI_CHUNK` environment variable
+//! when set (minimum 1), otherwise from [`default_chunk`], which leaves a
+//! few claims per worker for load balancing. Chunking only changes how
+//! indices are handed out — outputs are identical for any chunk size.
+//!
 //! # Panics
 //!
 //! A panic inside a worker is forwarded to the caller (the scope joins all
@@ -32,24 +41,54 @@ pub fn max_threads() -> usize {
     }
 }
 
+/// The default fan-out chunk size for `n` items over `workers` workers:
+/// big enough to amortise the atomic claim, small enough to leave roughly
+/// four claims per worker for dynamic load balancing.
+pub fn default_chunk(n: usize, workers: usize) -> usize {
+    (n / (workers.max(1) * 4)).max(1)
+}
+
+/// The configured chunk size for `n` items over `workers` workers:
+/// `WIMI_CHUNK` if set and ≥ 1, else [`default_chunk`].
+fn chunk_size(n: usize, workers: usize) -> usize {
+    match std::env::var("WIMI_CHUNK") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => default_chunk(n, workers),
+    }
+}
+
 /// Maps `f` over `items` in parallel, preserving input order in the
 /// output. `f` receives `(index, &item)`.
 ///
 /// Work is distributed dynamically: each worker claims the next unclaimed
-/// index from a shared atomic counter, so uneven per-item cost balances
-/// itself. With one worker (or one item) this degrades to a plain serial
-/// loop with no thread spawn.
+/// chunk of consecutive indices from a shared atomic counter, so uneven
+/// per-item cost balances itself. With one worker (or one item) this
+/// degrades to a plain serial loop with no thread spawn.
 pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let workers = max_threads().min(items.len());
+    map_chunked(items, workers, chunk_size(items.len(), workers), f)
+}
+
+/// The deterministic core of [`map`], with explicit worker count and chunk
+/// size ([`map`] fills both in from the environment). Outputs are
+/// identical for every `(workers, chunk)` combination.
+pub fn map_chunked<T, R, F>(items: &[T], workers: usize, chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
-    let workers = max_threads().min(n);
+    let workers = workers.min(n);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    let chunk = chunk.max(1);
 
     let next = AtomicUsize::new(0);
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(n);
@@ -59,11 +98,15 @@ where
                 scope.spawn(|| {
                     let mut out = Vec::new();
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
                             break;
                         }
-                        out.push((i, f(i, &items[i])));
+                        let end = (start + chunk).min(n);
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let i = start + i;
+                            out.push((i, f(i, item)));
+                        }
                     }
                     out
                 })
@@ -114,6 +157,46 @@ mod tests {
     #[test]
     fn map_indices_counts() {
         assert_eq!(map_indices(4, |i| i * i), vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn chunked_map_matches_serial_for_any_worker_chunk_combination() {
+        let items: Vec<usize> = (0..103).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1usize, 2, 3, 4, 7] {
+            for chunk in [1usize, 2, 5, 16, 103, 1000] {
+                let out = map_chunked(&items, workers, chunk, |i, &x| {
+                    assert_eq!(i, x);
+                    x * 3 + 1
+                });
+                assert_eq!(out, serial, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_visits_every_item_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..64).collect();
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        let _ = map_chunked(&items, 4, 3, |i, _| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn default_chunk_is_positive_and_balances() {
+        assert_eq!(default_chunk(0, 4), 1);
+        assert_eq!(default_chunk(3, 4), 1);
+        assert_eq!(default_chunk(160, 4), 10);
+        assert_eq!(default_chunk(160, 0), 40);
+        // Each worker gets roughly four claims.
+        let n = 1000;
+        let workers = 8;
+        let chunk = default_chunk(n, workers);
+        let claims = n.div_ceil(chunk);
+        assert!((claims / workers) >= 3, "claims = {claims}");
     }
 
     #[test]

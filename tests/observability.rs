@@ -20,9 +20,8 @@ fn capture_pair(seed: u64, n: usize) -> (CsiCapture, CsiCapture) {
 
 /// Zeroes one subcarrier on one antenna in every packet.
 fn kill_subcarrier(cap: &CsiCapture, antenna: usize, subcarrier: usize) -> CsiCapture {
-    cap.iter()
-        .map(|p| {
-            let mut p = p.clone();
+    cap.packets()
+        .map(|mut p| {
             *p.get_mut(antenna, subcarrier) = wimi::phy::complex::Complex::ZERO;
             p
         })

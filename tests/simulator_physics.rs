@@ -17,8 +17,8 @@ fn quiet_scenario() -> Scenario {
 /// Circular mean helper over packets.
 fn mean_phase_diff(cap: &wimi::phy::csi::CsiCapture, a: usize, b: usize, k: usize) -> f64 {
     let (s, c) = cap
-        .iter()
-        .map(|p| (p.get(a, k) * p.get(b, k).conj()).arg())
+        .phase_difference_series(a, b, k)
+        .into_iter()
         .fold((0.0f64, 0.0f64), |(s, c), x| (s + x.sin(), c + x.cos()));
     s.atan2(c)
 }
