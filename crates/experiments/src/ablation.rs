@@ -2,7 +2,7 @@
 //! DESIGN.md §5.
 
 use crate::accuracy::Effort;
-use crate::harness::{heading, paper_liquids, pct, run_identification, Material, RunOptions};
+use crate::harness::{heading, pct, run_identification, Material, RunOptions};
 use wimi_core::subcarrier::SubcarrierSelection;
 use wimi_core::WiMiConfig;
 use wimi_dsp::wavelet::{CorrelationDenoiser, Wavelet};
@@ -157,23 +157,30 @@ pub fn robustness_flowing_liquid() {
     }
 }
 
+/// The shipped environments campaign file (one cell per deployment
+/// environment), embedded so the experiment runs from any directory.
+pub const ENVIRONMENTS_CAMPAIGN: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../campaigns/environments.campaign"
+));
+
 /// Ten-liquid run in all three environments (paper's headline claim:
-/// ≥95% in all three).
+/// ≥95% in all three). Since PR 7 the grid is declared in
+/// `campaigns/environments.campaign` and executed by the campaign
+/// runner — the report prints one row per campaign cell.
 pub fn environments(effort: Effort) {
     heading("Environments", "ten liquids in hall / lab / library");
-    for env in wimi_phy::channel::Environment::ALL {
-        let opts = RunOptions {
-            environment: env,
-            n_train: effort.n_train,
-            n_test: effort.n_test,
-            ..RunOptions::default()
-        };
-        let result = run_identification(&paper_liquids(), &opts);
+    let mut c =
+        wimi_campaign::parse(ENVIRONMENTS_CAMPAIGN).expect("shipped environments campaign parses");
+    c.train = c.train.min(effort.n_train);
+    c.test = c.test.min(effort.n_test);
+    let outcome = crate::campaign::run_campaign(&c);
+    for (env, cell) in c.axes.environments.iter().zip(&outcome.cells) {
         println!(
             "  {:<8}: accuracy {}  (dropped {})",
             env.name(),
-            pct(result.accuracy()),
-            result.dropped_trials
+            pct(cell.accuracy),
+            cell.dropped
         );
     }
 }

@@ -2,66 +2,74 @@
 //!
 //! The paper's three-room evaluation is a robustness study on *benign*
 //! hardware; this experiment goes further and sweeps a hostile
-//! [`FaultPlan`] (packet loss, antenna dropout, AGC jumps, saturation,
-//! interference bursts, stale duplicates — see `wimi_phy::fault`) from
-//! intensity 0 (bit-identical to the un-faulted simulator) upward. It
-//! reports, per intensity, the accuracy plus how hard the salvage and
-//! retry machinery had to work — the degradation curve the ROADMAP's
-//! "graceful under hostile inputs" goal asks for.
+//! [`wimi_phy::fault::FaultPlan`] (packet loss, antenna dropout, AGC
+//! jumps, saturation, interference bursts, stale duplicates) from
+//! intensity 0 (bit-identical to the un-faulted simulator) upward.
+//!
+//! Since PR 7 the sweep is declared in `campaigns/degradation.campaign`
+//! — one campaign cell per intensity — and executed by the campaign
+//! runner, so the same grid is available to `campaign-run` for artifact
+//! emission and replay. The experiment keeps its historical report: the
+//! accuracy-vs-intensity table plus the graceful-shape verdict.
 
 use crate::accuracy::Effort;
-use crate::harness::{self, heading, pct, run_identification, RunOptions};
-use wimi_phy::fault::FaultPlan;
+use crate::campaign::{run_campaign, CampaignOutcome};
+use crate::harness::{heading, pct};
+use wimi_campaign::Campaign;
 
-/// Fault intensities swept, as multipliers on [`FaultPlan::hostile`].
-pub const INTENSITIES: [f64; 4] = [0.0, 0.1, 0.2, 0.4];
+/// The shipped degradation campaign file, embedded so the experiment
+/// runs from any working directory.
+pub const CAMPAIGN_TEXT: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../campaigns/degradation.campaign"
+));
 
-/// Seed of the hostile plan (measurements reseed it individually).
-const FAULT_SEED: u64 = 0xFA17;
-
-/// Builds the fault plan for one sweep point (`None` at intensity 0, so
-/// the origin of the curve is exactly the un-faulted simulator).
-pub fn plan_at(intensity: f64) -> Option<FaultPlan> {
-    // Intensities are non-negative multipliers; the sweep origin is 0.
-    if intensity <= 0.0 {
-        None
-    } else {
-        Some(FaultPlan::hostile(FAULT_SEED).scaled(intensity))
-    }
+/// Parses the shipped campaign, clamping trial counts to the effort
+/// level (the file declares the full-effort counts).
+///
+/// # Panics
+///
+/// Panics if the shipped campaign file fails to parse — a build bug, not
+/// an environmental failure.
+pub fn campaign(effort: Effort) -> Campaign {
+    let mut c = wimi_campaign::parse(CAMPAIGN_TEXT).expect("shipped degradation campaign parses");
+    c.train = c.train.min(effort.n_train);
+    c.test = c.test.min(effort.n_test);
+    c
 }
 
-/// Runs the ten-liquid identification under each fault intensity and
-/// prints the accuracy-vs-intensity table.
+/// `true` when the per-cell accuracies decay monotonically within a
+/// small sampling-noise allowance and the clean origin clears 50%.
+pub fn graceful(outcome: &CampaignOutcome) -> bool {
+    let accs: Vec<f64> = outcome.cells.iter().map(|c| c.accuracy).collect();
+    let monotone = accs.windows(2).all(|w| w[1] <= w[0] + 0.05);
+    monotone && accs.first().copied().unwrap_or(0.0) > 0.5
+}
+
+/// Runs the ten-liquid identification under each fault intensity (one
+/// campaign cell per intensity) and prints the accuracy-vs-intensity
+/// table.
 pub fn degradation(effort: Effort) {
     heading("Degradation", "accuracy vs fault intensity (ten liquids)");
-    let materials = harness::paper_liquids();
+    let outcome = run_campaign(&campaign(effort));
     println!(
         "  {:>9} {:>9} {:>9} {:>9} {:>9}",
         "intensity", "accuracy", "dropped", "rejected", "salvaged"
     );
-    let mut accs = Vec::new();
-    for intensity in INTENSITIES {
-        let opts = RunOptions {
-            n_train: effort.n_train,
-            n_test: effort.n_test,
-            fault: plan_at(intensity),
-            ..RunOptions::default()
-        };
-        let result = run_identification(&materials, &opts);
+    for cell in &outcome.cells {
+        let intensity = cell.segments.first().map_or(0.0, |s| s.intensity);
         println!(
             "  {:>9.2} {:>9} {:>9} {:>9} {:>9}",
             intensity,
-            pct(result.accuracy()),
-            result.dropped_trials,
-            result.rejected_measurements,
-            result.salvaged_measurements,
+            pct(cell.accuracy),
+            cell.dropped,
+            cell.rejected,
+            cell.salvaged,
         );
-        accs.push(result.accuracy());
     }
-    let monotone = accs.windows(2).all(|w| w[1] <= w[0] + 0.05);
     println!(
         "graceful shape: accuracy decays with intensity, no cliff → {}",
-        if monotone && accs[0] > 0.5 {
+        if graceful(&outcome) {
             "REPRODUCED"
         } else {
             "NOT reproduced"

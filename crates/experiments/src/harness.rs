@@ -190,7 +190,7 @@ pub fn capture_pair(
     modify: &(dyn Fn(&mut ScenarioBuilder) + Sync),
 ) -> (CsiCapture, CsiCapture) {
     capture_pair_faulted(
-        spec,
+        Some(spec),
         environment,
         packets,
         seed,
@@ -206,9 +206,12 @@ pub fn capture_pair(
 /// captures and an optional observability recorder attached to the
 /// simulator. The plan is reseeded from its own seed XOR the capture seed,
 /// so each measurement draws an independent, reproducible fault stream.
+/// `spec` is `None` when the target was removed (a campaign `target
+/// removed` window): the target capture then sees the empty scenario, the
+/// same view as the baseline.
 #[allow(clippy::too_many_arguments)]
 pub fn capture_pair_faulted(
-    spec: &LiquidSpec,
+    spec: Option<&LiquidSpec>,
     environment: Environment,
     packets: usize,
     seed: u64,
@@ -229,9 +232,18 @@ pub fn capture_pair_faulted(
     sim.set_recorder(recorder.cloned());
     sim.set_trace(trace.cloned());
     let baseline = sim.capture(packets);
-    sim.set_liquid(Some(spec.clone()));
+    sim.set_liquid(spec.cloned());
     let target = sim.capture(packets);
     (baseline, target)
+}
+
+/// The capture seed of retry `attempt` (0-based) of the measurement
+/// seeded `seed`. Multiplying by an odd constant is a bijection on `u64`
+/// and the attempt offsets are pairwise distinct, so every attempt's
+/// capture — and therefore its reseeded fault stream — is distinct from
+/// every other attempt of the same measurement.
+pub fn attempt_capture_seed(seed: u64, attempt: usize) -> u64 {
+    seed.wrapping_mul(31).wrapping_add(attempt as u64 * 7919)
 }
 
 /// Measures one material with the re-seat-and-retry protocol. Returns the
@@ -247,6 +259,18 @@ pub fn capture_pair_faulted(
 pub fn measure(
     extractor: &WiMi,
     spec: &LiquidSpec,
+    opts: &RunOptions,
+    seed: u64,
+) -> (Option<MaterialFeature>, MeasureStats) {
+    measure_target(extractor, Some(spec), opts, seed)
+}
+
+/// Like [`measure`], with an optional target: `None` measures the empty
+/// scenario (campaign `target removed` windows), where the pipeline sees
+/// a baseline/target pair that differs only by noise.
+pub fn measure_target(
+    extractor: &WiMi,
+    spec: Option<&LiquidSpec>,
     opts: &RunOptions,
     seed: u64,
 ) -> (Option<MaterialFeature>, MeasureStats) {
@@ -272,7 +296,7 @@ pub fn measure(
             spec,
             opts.environment,
             opts.packets,
-            seed.wrapping_mul(31).wrapping_add(attempt as u64 * 7919),
+            attempt_capture_seed(seed, attempt),
             offset_cm,
             opts.modify.as_ref(),
             opts.fault.as_ref(),
@@ -421,6 +445,49 @@ mod tests {
         assert_eq!(base.len(), 5);
         assert_eq!(tar.len(), 5);
         assert_eq!(base.n_antennas(), Scenario::builder().build().n_antennas());
+    }
+
+    #[test]
+    fn attempt_capture_seeds_are_pairwise_distinct() {
+        // Within one measurement, every retry attempt must get its own
+        // capture seed — and therefore its own reseeded fault stream.
+        for seed in [0u64, 1, 0xACC0, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let seeds: Vec<u64> = (0..16).map(|a| attempt_capture_seed(seed, a)).collect();
+            let mut sorted = seeds.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), seeds.len(), "collision under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn retry_attempts_draw_distinct_fault_streams() {
+        // Regression pin: two attempts of one measurement under an active
+        // FaultPlan must observe different captures (distinct sim + fault
+        // randomness), while re-running the same attempt reproduces its
+        // capture exactly.
+        let spec: LiquidSpec = Liquid::Milk.into();
+        let plan = FaultPlan::hostile(0xFA17);
+        let capture = |attempt: usize| {
+            capture_pair_faulted(
+                Some(&spec),
+                Environment::Lab,
+                6,
+                attempt_capture_seed(4242, attempt),
+                1.0,
+                &|_| {},
+                Some(&plan),
+                None,
+                None,
+            )
+        };
+        let (base0, tar0) = capture(0);
+        let (base0_again, tar0_again) = capture(0);
+        assert_eq!(base0, base0_again, "same attempt must reproduce exactly");
+        assert_eq!(tar0, tar0_again, "same attempt must reproduce exactly");
+        let (base1, tar1) = capture(1);
+        assert_ne!(base0, base1, "attempts must not share a fault stream");
+        assert_ne!(tar0, tar1, "attempts must not share a fault stream");
     }
 
     #[test]

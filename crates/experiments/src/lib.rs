@@ -15,6 +15,7 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod campaign;
 pub mod degradation;
 pub mod features;
 pub mod harness;

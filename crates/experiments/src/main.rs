@@ -1,13 +1,16 @@
 //! CLI entry point: `cargo run -p wimi-experiments --release -- all`.
 
-use wimi_experiments::{obs, run_named, trace, Effort, ALL_EXPERIMENTS};
+use wimi_experiments::{campaign, obs, run_named, trace, Effort, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
         "usage: wimi-experiments [--quick] [--obs-json PATH] [--obs-wall] [--trace-out PATH] \
          all | environments | <name>...\n       \
          wimi-experiments obs-validate PATH\n       \
-         wimi-experiments trace-diff A B"
+         wimi-experiments trace-diff A B\n       \
+         wimi-experiments campaign-run PATH [--campaign-out DIR] [--cell N] [--check BENCH]\n       \
+         wimi-experiments campaign-diff DIR_A DIR_B\n       \
+         wimi-experiments campaign-validate PATH"
     );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
     std::process::exit(2);
@@ -46,7 +49,16 @@ fn main() {
         Effort::full()
     };
 
-    let (values, names) = parse_args(&args, &["--obs-json", "--trace-out"]);
+    let (values, names) = parse_args(
+        &args,
+        &[
+            "--obs-json",
+            "--trace-out",
+            "--campaign-out",
+            "--cell",
+            "--check",
+        ],
+    );
     let flag = |name: &str| values.iter().find(|(f, _)| *f == name).map(|&(_, v)| v);
     let obs_json = flag("--obs-json");
     let trace_out = flag("--trace-out");
@@ -68,6 +80,29 @@ fn main() {
             (Some(a), Some(b)) => trace::trace_diff(a, b),
             _ => usage(),
         }
+        return;
+    }
+    if names[0] == "campaign-validate" {
+        match names.get(1) {
+            Some(path) => campaign::campaign_validate(path),
+            None => usage(),
+        }
+        return;
+    }
+    if names[0] == "campaign-diff" {
+        match (names.get(1), names.get(2)) {
+            (Some(a), Some(b)) => campaign::campaign_diff(a, b),
+            _ => usage(),
+        }
+        return;
+    }
+    if names[0] == "campaign-run" {
+        let Some(path) = names.get(1) else { usage() };
+        let cell = flag("--cell").map(|v| match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => usage(),
+        });
+        campaign::campaign_run(path, flag("--campaign-out"), cell, flag("--check"));
         return;
     }
 

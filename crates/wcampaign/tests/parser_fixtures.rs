@@ -1,0 +1,208 @@
+//! Fixture suite for the campaign parser: every diagnostic the
+//! parser/validator can emit is pinned to an on-disk `.campaign` file
+//! with its exact 1-based line and column, and a coverage assertion
+//! proves the table exercises [`DiagKind::ALL`] exhaustively — adding a
+//! diagnostic kind without a fixture fails the build.
+
+use std::fs;
+use std::path::PathBuf;
+
+use wimi_campaign::{parse, DiagKind};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// `(file, kind, line, col, message fragment)` — one row per diagnostic.
+const BAD: &[(&str, DiagKind, usize, usize, &str)] = &[
+    (
+        "syntax.campaign",
+        DiagKind::Syntax,
+        2,
+        24,
+        "empty value before `,`",
+    ),
+    (
+        "number.campaign",
+        DiagKind::Number,
+        2,
+        6,
+        "`beef` is not a non-negative integer",
+    ),
+    (
+        "unknown-directive.campaign",
+        DiagKind::UnknownDirective,
+        2,
+        1,
+        "unknown directive `sede`",
+    ),
+    (
+        "duplicate-directive.campaign",
+        DiagKind::DuplicateDirective,
+        3,
+        1,
+        "`train` given more than once",
+    ),
+    (
+        "missing-name.campaign",
+        DiagKind::MissingName,
+        1,
+        1,
+        "first directive must be `campaign <name>`",
+    ),
+    (
+        "unknown-axis.campaign",
+        DiagKind::UnknownAxis,
+        2,
+        6,
+        "unknown axis `moon`",
+    ),
+    (
+        "duplicate-axis.campaign",
+        DiagKind::DuplicateAxis,
+        3,
+        6,
+        "axis `packets` declared twice",
+    ),
+    (
+        "empty-axis.campaign",
+        DiagKind::EmptyAxis,
+        2,
+        6,
+        "axis `intensity` has no values",
+    ),
+    (
+        "unknown-material.campaign",
+        DiagKind::UnknownMaterial,
+        2,
+        18,
+        "unknown material `Water`",
+    ),
+    (
+        "duplicate-material.campaign",
+        DiagKind::DuplicateMaterial,
+        2,
+        27,
+        "material `Milk` listed twice",
+    ),
+    (
+        "material-set-too-small.campaign",
+        DiagKind::MaterialSetTooSmall,
+        2,
+        18,
+        "at least two classes",
+    ),
+    (
+        "unknown-environment.campaign",
+        DiagKind::UnknownEnvironment,
+        2,
+        20,
+        "unknown environment `attic`",
+    ),
+    (
+        "unknown-container.campaign",
+        DiagKind::UnknownContainer,
+        2,
+        18,
+        "unknown container `wood`",
+    ),
+    (
+        "out-of-range.campaign",
+        DiagKind::OutOfRange,
+        2,
+        18,
+        "intensity must be within [0, 10]",
+    ),
+    (
+        "schedule-order.campaign",
+        DiagKind::ScheduleOrder,
+        4,
+        1,
+        "ordered by trial",
+    ),
+    (
+        "schedule-range.campaign",
+        DiagKind::ScheduleRange,
+        3,
+        4,
+        "outside the campaign's 3 test trials",
+    ),
+    (
+        "unknown-schedule.campaign",
+        DiagKind::UnknownSchedule,
+        2,
+        6,
+        "unknown schedule directive `explode`",
+    ),
+];
+
+#[test]
+fn every_bad_fixture_hits_its_exact_diagnostic() {
+    for &(file, kind, line, col, fragment) in BAD {
+        let err = parse(&fixture(file)).expect_err(file);
+        assert_eq!(err.kind, kind, "{file}: kind (got: {err})");
+        assert_eq!(err.line, line, "{file}: line (got: {err})");
+        assert_eq!(err.col, col, "{file}: col (got: {err})");
+        assert!(
+            err.msg.contains(fragment),
+            "{file}: message `{}` missing `{fragment}`",
+            err.msg
+        );
+        let rendered = err.to_string();
+        assert!(!rendered.contains('\n'), "{file}: multi-line error");
+        assert_eq!(rendered, format!("line {line}, col {col}: {}", err.msg));
+    }
+}
+
+#[test]
+fn fixtures_cover_every_diagnostic_kind() {
+    for kind in DiagKind::ALL {
+        let count = BAD.iter().filter(|row| row.1 == kind).count();
+        assert!(
+            count >= 1,
+            "no fixture exercises DiagKind::{kind:?} ({})",
+            kind.name()
+        );
+    }
+    assert_eq!(BAD.len(), DiagKind::ALL.len(), "one fixture per kind");
+}
+
+#[test]
+fn good_fixtures_parse() {
+    let minimal = parse(&fixture("good-minimal.campaign")).expect("good-minimal");
+    assert_eq!(minimal.name, "minimal");
+
+    let full = parse(&fixture("good-full.campaign")).expect("good-full");
+    assert_eq!(full.name, "full");
+    assert_eq!(full.seed, 0x1CE);
+    assert_eq!(full.axes.materials.len(), 3);
+    assert_eq!(full.axes.environments.len(), 3);
+    assert_eq!(full.schedule.len(), 4);
+}
+
+#[test]
+fn shipped_campaign_files_parse_and_stay_canonical_under_reparse() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../campaigns");
+    let mut seen = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("campaigns directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "campaign"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = fs::read_to_string(&path).expect("read shipped campaign");
+        let c = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Canonical-form closure: render → parse is the identity.
+        let again = parse(&c.render()).expect("rendered form parses");
+        assert_eq!(again, c, "{}", path.display());
+        seen += 1;
+    }
+    assert!(
+        seen >= 3,
+        "expected the three shipped campaigns, found {seen}"
+    );
+}

@@ -14,7 +14,15 @@ use crate::lexer::{lex, Pragma, Tok, Token};
 /// The library crates whose non-test code must stay panic-free and
 /// wall-clock-free: errors flow through the `wimi_core::error` taxonomy and
 /// results must be bitwise reproducible under any thread count.
-pub const LIBRARY_CRATES: [&str; 6] = ["wiphy", "wdsp", "wml", "core", "wobs", "wtrace"];
+pub const LIBRARY_CRATES: [&str; 7] = [
+    "wiphy",
+    "wdsp",
+    "wml",
+    "core",
+    "wobs",
+    "wtrace",
+    "wcampaign",
+];
 
 /// Crates whose public `f64` parameters must use the `units.rs` newtypes
 /// when dimensionally named.

@@ -200,6 +200,49 @@ mod tests {
     }
 
     #[test]
+    fn chunked_map_empty_input_with_many_workers() {
+        let empty: Vec<u32> = Vec::new();
+        // workers.min(0) == 0 must fall through to the serial path, not
+        // spawn anything or index past the end.
+        assert!(map_chunked(&empty, 8, 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn chunked_map_chunk_larger_than_len() {
+        // One claim grabs everything; the other workers find the counter
+        // exhausted and exit without work.
+        let items = [10u32, 20, 30, 40, 50];
+        let out = map_chunked(&items, 3, 100, |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30), (3, 40), (4, 50)]);
+    }
+
+    #[test]
+    fn chunked_map_non_divisible_final_chunk_is_short() {
+        // 10 items in chunks of 3: claims are [0..3), [3..6), [6..9), [9..10).
+        // Every index must appear exactly once despite the short tail.
+        let items: Vec<usize> = (0..10).collect();
+        let counts: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+        let out = map_chunked(&items, 2, 3, |i, &x| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn chunk_env_override_reaches_map() {
+        // WIMI_CHUNK=1 forces one claim per item through the public `map`
+        // entry point. Outputs are chunk-invariant by contract, so even if
+        // another test observes the variable mid-flight nothing changes.
+        std::env::set_var("WIMI_CHUNK", "1");
+        let items: Vec<usize> = (0..37).collect();
+        let out = map(&items, |_, &x| x * 2);
+        std::env::remove_var("WIMI_CHUNK");
+        assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         let result = std::panic::catch_unwind(|| {
             let items: Vec<usize> = (0..64).collect();

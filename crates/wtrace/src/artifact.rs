@@ -55,11 +55,33 @@ pub struct EventLine {
     pub value: Json,
 }
 
+/// Campaign provenance stamped into a per-cell artifact header by the
+/// campaign runner, so any cell artifact names the campaign it came from
+/// and the derived seed that reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignTag {
+    /// Campaign name (as declared in the `.campaign` file).
+    pub campaign: String,
+    /// Cell index in campaign expansion order.
+    pub cell: u64,
+    /// The cell's derived root seed.
+    pub cell_seed: u64,
+}
+
+/// The canonical artifact file name of one campaign cell:
+/// `<campaign>-cell-<index, zero-padded to 4>.jsonl`.
+pub fn cell_artifact_name(campaign: &str, cell: u64) -> String {
+    format!("{campaign}-cell-{cell:04}.jsonl")
+}
+
 /// A parsed and semantically validated artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Artifact {
     /// The header line.
     pub header: Header,
+    /// Campaign provenance, when the artifact was emitted by a campaign
+    /// run (`None` for plain traced experiments).
+    pub campaign: Option<CampaignTag>,
     /// All event lines, artifact order.
     pub events: Vec<EventLine>,
     /// The embedded observability snapshot (`Json::Null` when absent).
@@ -165,17 +187,33 @@ fn write_event(out: &mut String, task: &str, seq: u64, ev: &TraceEvent) {
 /// given, must be a `wimi-obs/1` snapshot export; it is compacted onto
 /// the final line. Equal logs render to byte-identical text.
 pub fn render(log: &TraceLog, obs_json: Option<&str>) -> String {
+    render_cell(log, obs_json, None)
+}
+
+/// Like [`render`], with campaign provenance appended to the header when
+/// `tag` is given. [`render`] is `render_cell(log, obs, None)`.
+pub fn render_cell(log: &TraceLog, obs_json: Option<&str>, tag: Option<&CampaignTag>) -> String {
     let total_events: usize = log.tasks.iter().map(|t| t.events.len()).sum();
     let mut out = String::new();
-    let _ = writeln!(
+    let _ = write!(
         out,
-        "{{\"schema\":\"{SCHEMA}\",\"tasks\":{},\"events\":{},\"events_emitted\":{},\"failures\":{},\"tasks_truncated\":{}}}",
+        "{{\"schema\":\"{SCHEMA}\",\"tasks\":{},\"events\":{},\"events_emitted\":{},\"failures\":{},\"tasks_truncated\":{}",
         log.tasks.len(),
         total_events,
         log.events_emitted,
         log.failures,
         log.tasks_truncated
     );
+    if let Some(tag) = tag {
+        let _ = write!(
+            out,
+            ",\"campaign\":\"{}\",\"cell\":{},\"cell_seed\":{}",
+            esc(&tag.campaign),
+            tag.cell,
+            tag.cell_seed
+        );
+    }
+    out.push_str("}\n");
     for stream in &log.tasks {
         let label = stream.key.to_string();
         for (i, ev) in stream.events.iter().enumerate() {
@@ -315,6 +353,14 @@ pub fn parse_and_validate(text: &str) -> Result<Artifact, String> {
         failures: get_u64(&header_val, "failures", "header")?,
         tasks_truncated: get_u64(&header_val, "tasks_truncated", "header")?,
     };
+    let campaign = match header_val.get("campaign") {
+        None => None,
+        Some(_) => Some(CampaignTag {
+            campaign: get_str(&header_val, "campaign", "header")?.to_string(),
+            cell: get_u64(&header_val, "cell", "header")?,
+            cell_seed: get_u64(&header_val, "cell_seed", "header")?,
+        }),
+    };
 
     let mut events: Vec<EventLine> = Vec::new();
     let mut obs: Option<Json> = None;
@@ -406,6 +452,7 @@ pub fn parse_and_validate(text: &str) -> Result<Artifact, String> {
 
     Ok(Artifact {
         header,
+        campaign,
         events,
         obs,
     })
@@ -536,6 +583,32 @@ mod tests {
         assert!(err.contains("declares 9 events"), "{err}");
         let bad = good.replacen("\"tasks\":3", "\"tasks\":2", 1);
         assert!(parse_and_validate(&bad).is_err());
+    }
+
+    #[test]
+    fn campaign_tag_roundtrips_through_header() {
+        let tag = CampaignTag {
+            campaign: "matrix".to_owned(),
+            cell: 17,
+            cell_seed: 0xDEAD_BEEF,
+        };
+        let text = render_cell(&sample_log(), None, Some(&tag));
+        let artifact = parse_and_validate(&text).unwrap();
+        assert_eq!(artifact.campaign, Some(tag));
+        // Plain renders carry no tag, and parse as such.
+        let plain = parse_and_validate(&render(&sample_log(), None)).unwrap();
+        assert_eq!(plain.campaign, None);
+        // A tag present without its cell fields is rejected.
+        let bad = text.replacen(",\"cell\":17", "", 1);
+        let err = parse_and_validate(&bad).unwrap_err();
+        assert!(err.contains("cell"), "{err}");
+        assert!(!err.contains('\n'), "{err}");
+    }
+
+    #[test]
+    fn cell_artifact_names_are_zero_padded() {
+        assert_eq!(cell_artifact_name("matrix", 7), "matrix-cell-0007.jsonl");
+        assert_eq!(cell_artifact_name("m", 12345), "m-cell-12345.jsonl");
     }
 
     #[test]

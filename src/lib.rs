@@ -1,4 +1,5 @@
 //! WiMi facade crate: re-exports the full WiMi stack.
+pub use wimi_campaign as campaign;
 pub use wimi_core as core;
 pub use wimi_dsp as dsp;
 pub use wimi_ml as ml;
