@@ -321,6 +321,7 @@ fn json_f64(x: f64) -> String {
 /// identity, aggregated work totals, and one record per cell with its
 /// seed, scores and artifact name. Field order and formatting are fixed,
 /// so equal outcomes render byte-identically.
+// wlint: artifact
 pub fn summary_json(outcome: &CampaignOutcome) -> String {
     use std::fmt::Write as _;
     let c = &outcome.campaign;

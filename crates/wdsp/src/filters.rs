@@ -75,6 +75,8 @@ impl Biquad {
     }
 
     /// Filters a signal (single pass, causal).
+    // wlint: allow(panic-reach) — b and a are fixed-size [3]/[2] arrays indexed by constants
+    // wlint: allow(hot-path-alloc) — no real hot caller: the hot edge is an iterator-adapter name collision (`.filter`); actual callers (filtfilt, notch) are cold setup paths
     pub fn filter(&self, xs: &[f64]) -> Vec<f64> {
         let mut s1 = 0.0;
         let mut s2 = 0.0;

@@ -87,6 +87,7 @@ impl CorrelationDenoiser {
     /// `scratch`. Returns the same bits as the allocating version with no
     /// steady-state heap traffic.
     // wlint: hot
+    // wlint: allow(panic-reach) — detail-band indices are bounded by the resize_with(levels) above them; downstream kernels assert their length invariants
     pub fn denoise_into(&self, xs: &[f64], scratch: &mut DenoiseScratch, out: &mut Vec<f64>) {
         out.clear();
         if xs.len() < 8 {

@@ -160,6 +160,7 @@ impl SwtDecomposition {
 /// in [`analyze_into`]/[`synthesize_into`] is *outside* this call, every
 /// output element still accumulates its taps in the exact order the naive
 /// `Σ_k h[k]·x[…]` sum would — outputs are bitwise identical.
+// wlint: allow(panic-reach) — split = n - off is valid: both callers reduce off mod x.len() first
 #[inline]
 fn accumulate_rotated(y: &mut [f64], x: &[f64], hk: f64, off: usize) {
     let n = x.len();

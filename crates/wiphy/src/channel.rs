@@ -143,6 +143,7 @@ impl PacketJitter {
     /// [`MultipathChannel::draw_jitter_into`].
     pub fn empty() -> PacketJitter {
         PacketJitter {
+            // wlint: allow(hot-path-alloc) — Vec::new is capacity-0: no heap touch until first push; `empty` only backs a mem::replace swap
             multipliers: Vec::new(),
         }
     }

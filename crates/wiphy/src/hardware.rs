@@ -137,6 +137,7 @@ impl HardwareProfile {
     /// Panics if the plane lengths differ from
     /// `n_antennas · n_subcarriers`.
     // wlint: hot
+    // wlint: allow(panic-reach) — plane indices row + k < n_antennas·n_subcarriers, asserted at entry
     pub fn apply_planes<R: Rng + ?Sized>(
         &self,
         re: &mut [f64],

@@ -613,6 +613,7 @@ impl Simulator {
     /// RNG draw order matches the historical per-packet implementation
     /// exactly: jitter, then one perturbation per antenna, then hardware.
     // wlint: hot
+    // wlint: allow(panic-reach) — per-antenna rows and cached insertion tables are all sized n_antennas·n_subcarriers by construction
     fn packet_into(&mut self, re: &mut [f64], im: &mut [f64]) {
         let n_ant = self.scenario.n_antennas;
         let n_sub = self.freqs.len();
@@ -668,6 +669,7 @@ impl Simulator {
     /// Per-antenna, per-subcarrier complex insertion factor of the beaker
     /// (and liquid) on the LoS ray, with the common leakage floor applied.
     /// Deterministic in `(scenario, liquid)` — see `insertions_cache`.
+    // wlint: allow(hot-path-alloc) — cold fallback: runs once per (scenario, liquid) change and is cached; the steady-state path takes the cache hit
     fn compute_target_insertions(&self) -> Vec<Vec<Complex>> {
         let n_sub = self.freqs.len();
         let outer = Cylinder::new(self.scenario.target_center, self.scenario.beaker.radius());

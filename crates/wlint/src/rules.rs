@@ -1,4 +1,5 @@
-//! The lint rules and the per-file scanning engine.
+//! The lint rules: per-file token scans plus the interprocedural rules
+//! that run over the workspace call graph.
 //!
 //! Every rule is named, documented and individually suppressable with an
 //! inline pragma on (or immediately above) the offending line:
@@ -8,8 +9,16 @@
 //! ```
 //!
 //! The justification is mandatory; a pragma without one is itself reported.
+//! For the interprocedural rules (`hot-path-alloc`, `panic-reach`,
+//! `determinism-taint`) a pragma also suppresses by *path*: placed on the
+//! line of (or immediately above) any function on the reported call path,
+//! it vouches for every violation routed through that function.
 
-use crate::lexer::{lex, Pragma, Tok, Token};
+use std::collections::BTreeMap;
+
+use crate::graph::{fn_label, CallGraph, DepMap};
+use crate::index::{crate_of, test_regions, TaintKind, WorkspaceIndex, MARKER_WINDOW};
+use crate::lexer::{lex, LexOutput, Pragma, Tok, Token};
 
 /// The library crates whose non-test code must stay panic-free and
 /// wall-clock-free: errors flow through the `wimi_core::error` taxonomy and
@@ -23,6 +32,10 @@ pub const LIBRARY_CRATES: [&str; 7] = [
     "wtrace",
     "wcampaign",
 ];
+
+/// The crates whose *public* functions count as library entry points for
+/// `panic-reach`: anything a downstream caller can invoke directly.
+pub const ENTRY_CRATES: [&str; 4] = ["wiphy", "wdsp", "wml", "core"];
 
 /// Crates whose public `f64` parameters must use the `units.rs` newtypes
 /// when dimensionally named.
@@ -111,9 +124,15 @@ pub enum Rule {
     UnitNewtype,
     /// A malformed `wlint:` pragma (bad syntax or missing justification).
     BadPragma,
-    /// Heap allocation inside a `// wlint: hot` function: the hot path
-    /// runs per packet/subcarrier and must reuse caller-provided scratch.
+    /// Heap allocation reachable from a `// wlint: hot` function: the hot
+    /// path runs per packet/subcarrier and must reuse caller scratch.
     HotPathAlloc,
+    /// A panic site (`panic!`-family, `.unwrap()`, `.expect(`, slice index)
+    /// reachable from a hot fn or a public library entry point.
+    PanicReach,
+    /// An ambient-nondeterminism source reachable from a
+    /// `// wlint: artifact` renderer: artifacts must be byte-stable.
+    DeterminismTaint,
 }
 
 impl Rule {
@@ -130,11 +149,18 @@ impl Rule {
             Rule::UnitNewtype => "unit-newtype",
             Rule::BadPragma => "bad-pragma",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::PanicReach => "panic-reach",
+            Rule::DeterminismTaint => "determinism-taint",
         }
     }
 
+    /// Looks a rule up by its stable name (for `--explain`).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
     /// All rules, for `--list-rules` style reporting.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 12] = [
         Rule::WallClock,
         Rule::AmbientRng,
         Rule::HashCollections,
@@ -145,6 +171,8 @@ impl Rule {
         Rule::UnitNewtype,
         Rule::BadPragma,
         Rule::HotPathAlloc,
+        Rule::PanicReach,
+        Rule::DeterminismTaint,
     ];
 
     /// One-line description of the invariant the rule protects.
@@ -162,7 +190,122 @@ impl Rule {
             Rule::UnitNewtype => "dimensional public fn params must use unit newtypes, not f64",
             Rule::BadPragma => "wlint pragmas must name a rule and give a justification",
             Rule::HotPathAlloc => {
-                "no heap allocation (Vec::new()/vec!/collect/to_vec) in `// wlint: hot` functions"
+                "no heap allocation reachable from a `// wlint: hot` function (transitive)"
+            }
+            Rule::PanicReach => {
+                "no panic site reachable from hot fns or public library entry points"
+            }
+            Rule::DeterminismTaint => {
+                "no nondeterminism source reachable from a `// wlint: artifact` renderer"
+            }
+        }
+    }
+
+    /// The long-form rationale printed by `wimi-lint --explain <rule>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "Library crates must be bitwise reproducible under any WIMI_THREADS \
+                 setting, and a wall-clock read (SystemTime::now, Instant::now) injects \
+                 scheduling-dependent values into results. Timing belongs in the bench \
+                 and experiments crates; library code takes logical clocks as inputs.\n\
+                 Suppress a provably result-inert read with\n\
+                 `// wlint: allow(wall-clock) — <why the value cannot reach a result>`.\n\
+                 Note: an allowed wall-clock read still counts as a `determinism-taint` \
+                 source — the taint rule must be suppressed separately if an artifact \
+                 renderer can reach it."
+            }
+            Rule::AmbientRng => {
+                "All randomness flows from explicit per-job seeds so any measurement can \
+                 be replayed exactly. thread_rng/OsRng/from_entropy read ambient entropy \
+                 the replay cannot reproduce. Thread seeded SmallRng (or the vendored \
+                 stand-in) through call arguments instead."
+            }
+            Rule::HashCollections => {
+                "std's HashMap/HashSet use randomized hashing, so iteration order differs \
+                 run to run; any fold, render, or fan-out over one silently breaks the \
+                 byte-identical artifact contract. Use BTreeMap/BTreeSet or a sorted Vec. \
+                 The `determinism-taint` rule additionally reports hash collections that \
+                 are *reachable* from artifact renderers through calls."
+            }
+            Rule::ThreadSpawn => {
+                "wml::par::map is the single sanctioned fan-out: it bounds workers by \
+                 WIMI_THREADS, assigns work deterministically, and joins in order. A raw \
+                 thread::spawn anywhere else escapes that discipline and the determinism \
+                 CI job's thread-count sweep."
+            }
+            Rule::Panic => {
+                "Library crates degrade gracefully: fallible paths return the \
+                 Stage/IssueKind error taxonomy so the pipeline can screen, remap, and \
+                 retry. unwrap/expect/panic! turn recoverable conditions into aborts. \
+                 This rule flags panic sites *where they are written*; `panic-reach` \
+                 complements it by tracing reachability from entry points through the \
+                 call graph. Suppress with a local impossibility proof:\n\
+                 `// wlint: allow(panic) — <why this cannot fire>` — that pragma also \
+                 vouches the site for `panic-reach`."
+            }
+            Rule::FloatEq => {
+                "Exact ==/!= against a float literal forks logic on representation noise \
+                 (the same value can arrive as 0.4999999...). Compare with an epsilon or \
+                 restructure around an ordering. Assert macros are exempt: there the \
+                 exactness IS the contract, and the failure is loud."
+            }
+            Rule::FloatCast => {
+                "The CSI quantisation paths (csi.rs, hardware.rs) model fixed-width ADC \
+                 behaviour; a bare `as iN` cast saturates/truncates silently and has \
+                 already produced off-by-one quantisation bugs. Route conversions through \
+                 the checked helpers that make the clamping explicit."
+            }
+            Rule::UnitNewtype => {
+                "Public APIs in wiphy/core mix metres, hertz and seconds; a raw `f64` \
+                 parameter named like a dimension (freq_hz, distance_m) invites silent \
+                 unit swaps at call sites. Take the units.rs newtypes \
+                 (Meters/Hertz/Seconds) instead."
+            }
+            Rule::BadPragma => {
+                "Suppressions are part of the audit trail: every \
+                 `// wlint: allow(<rule>)` must name a real rule and carry a \
+                 justification after an em dash/hyphen/colon. A malformed pragma would \
+                 otherwise silently suppress nothing (or the wrong thing)."
+            }
+            Rule::HotPathAlloc => {
+                "Functions marked `// wlint: hot` run per packet/subcarrier in the \
+                 steady-state identification path; PR6's scratch-arena work got them to \
+                 ~2 allocations per capture, and CI gates on that budget. This rule is \
+                 TRANSITIVE: an allocation site (Vec::new()/vec!/format!/.collect()/\
+                 .to_vec()/.to_owned()/.to_string()) anywhere in the call graph reachable \
+                 from a hot fn is flagged, with the full call path in the message. \
+                 Constructor *paths* without a call (`resize_with(n, Vec::new)`) stay \
+                 legal. Suppress at the site, or vouch for a whole path by placing\n\
+                 `// wlint: allow(hot-path-alloc) — <reason>` on/above any fn on the \
+                 reported path (e.g. a one-time pool-growth helper)."
+            }
+            Rule::PanicReach => {
+                "Reachability version of `panic`: a panic!-family macro, .unwrap()/\
+                 .expect(), or slice-index site reachable from a `// wlint: hot` fn or a \
+                 public entry point of wiphy/wdsp/wml/core can abort the pipeline from a \
+                 caller that never sees the dangerous code. Sites inside library crates \
+                 are already flagged (or vouched) by the site-level `panic` rule, so this \
+                 rule reports: panic sites that leak in through non-library helper \
+                 crates, and slice-index sites reachable from hot fns (index panics in \
+                 the per-packet path are both a crash and a bounds-check cost). A site \
+                 pragma for `panic` or `panic-reach` vouches the site; a \
+                 `// wlint: allow(panic-reach) — <reason>` on/above any fn on the \
+                 reported path vouches the whole path (use for kernels whose indices are \
+                 pinned by asserted invariants at the fn boundary)."
+            }
+            Rule::DeterminismTaint => {
+                "Functions marked `// wlint: artifact` render the byte-identical \
+                 wimi-obs/1, wimi-trace/1 and wimi-campaign/1 artifacts that CI diffs \
+                 across runs and WIMI_THREADS settings. This rule flags ambient \
+                 nondeterminism sources reachable from any artifact renderer: \
+                 Instant::now/SystemTime::now, env::var outside the WIMI_THREADS/\
+                 WIMI_CHUNK allowlist, thread::current (thread IDs), and HashMap/HashSet \
+                 (iteration order). Deliberately asymmetric with the site rules: an \
+                 `allow(wall-clock)` pragma does NOT vouch a source for this rule — a \
+                 read may be harmless where it happens yet fatal once a renderer can \
+                 reach it. Suppress with `allow(determinism-taint)` at the source or \
+                 on/above any fn on the reported path."
             }
         }
     }
@@ -196,7 +339,7 @@ pub struct Suppression {
     pub message: String,
 }
 
-/// Result of linting one file.
+/// Result of linting one file (kept for the single-file API).
 #[derive(Debug, Default)]
 pub struct FileReport {
     /// Unsuppressed violations.
@@ -205,139 +348,84 @@ pub struct FileReport {
     pub suppressed: Vec<Suppression>,
 }
 
-/// Derives the crate short name from a workspace-relative path
-/// (`crates/wiphy/src/csi.rs` → `wiphy`; the facade `src/lib.rs` → `wimi`).
-fn crate_of(rel_path: &str) -> &str {
-    let parts: Vec<&str> = rel_path.split('/').collect();
-    if parts.len() >= 2 && parts[0] == "crates" {
-        parts[1]
-    } else {
-        "wimi"
-    }
+/// A raw finding before suppression: the violation plus the call path that
+/// produced it (fn indices root→sink; empty for per-file findings).
+struct Finding {
+    v: Violation,
+    path: Vec<usize>,
 }
 
-/// Inclusive line ranges covered by `#[test]` / `#[cfg(test)]` items.
-fn test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
-    let mut regions = Vec::new();
-    let mut i = 0usize;
-    while i + 1 < tokens.len() {
-        if tokens[i].kind != Tok::Punct("#") || tokens[i + 1].kind != Tok::Punct("[") {
-            i += 1;
-            continue;
-        }
-        // Collect the attribute's tokens up to the matching `]`.
-        let attr_start_line = tokens[i].line;
-        let mut depth = 0usize;
-        let mut j = i + 1;
-        let mut attr_idents: Vec<&str> = Vec::new();
-        let mut attr_end = None;
-        while j < tokens.len() {
-            match &tokens[j].kind {
-                Tok::Punct("[") => depth += 1,
-                Tok::Punct("]") => {
-                    depth -= 1;
-                    if depth == 0 {
-                        attr_end = Some(j);
-                        break;
-                    }
-                }
-                Tok::Ident(s) => attr_idents.push(s.as_str()),
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(attr_end) = attr_end else { break };
-        let is_test_attr = match attr_idents.first() {
-            Some(&"test") => true,
-            Some(&"cfg") => attr_idents.contains(&"test") && !attr_idents.contains(&"not"),
-            _ => false,
-        };
-        if !is_test_attr {
-            i = attr_end + 1;
-            continue;
-        }
-        // Find the item body: the first `{` before a top-level `;`.
-        let mut k = attr_end + 1;
-        let mut body_open = None;
-        while k < tokens.len() {
-            match tokens[k].kind {
-                Tok::Punct("{") => {
-                    body_open = Some(k);
-                    break;
-                }
-                Tok::Punct(";") => break,
-                _ => k += 1,
-            }
-        }
-        let Some(open) = body_open else {
-            i = attr_end + 1;
-            continue;
-        };
-        let mut brace = 0usize;
-        let mut close = open;
-        for (n, t) in tokens.iter().enumerate().skip(open) {
-            match t.kind {
-                Tok::Punct("{") => brace += 1,
-                Tok::Punct("}") => {
-                    brace -= 1;
-                    if brace == 0 {
-                        close = n;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        regions.push((attr_start_line, tokens[close].line));
-        i = close + 1;
-    }
-    regions
+/// Aggregate result of linting a set of files together.
+#[derive(Debug, Default)]
+pub struct WorkspaceLint {
+    /// Unsuppressed violations, sorted by (file, line, rule, message).
+    pub violations: Vec<Violation>,
+    /// Pragma-suppressed occurrences, same order.
+    pub suppressed: Vec<Suppression>,
+    /// The symbol index (for `--graph`).
+    pub index: WorkspaceIndex,
+    /// The resolved call graph (for `--graph`).
+    pub graph: CallGraph,
 }
 
-/// Token-index spans lying inside assert-family macro invocations.
-fn assert_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
-    let mut spans = Vec::new();
-    let mut i = 0usize;
-    while i + 2 < tokens.len() {
-        let is_assert =
-            matches!(&tokens[i].kind, Tok::Ident(s) if ASSERT_MACROS.contains(&s.as_str()));
-        if is_assert && tokens[i + 1].kind == Tok::Punct("!") {
-            let open = &tokens[i + 2].kind;
-            let (o, c) = match open {
-                Tok::Punct("(") => ("(", ")"),
-                Tok::Punct("[") => ("[", "]"),
-                Tok::Punct("{") => ("{", "}"),
-                _ => {
-                    i += 1;
-                    continue;
-                }
-            };
-            let mut depth = 0usize;
-            let mut j = i + 2;
-            while j < tokens.len() {
-                if tokens[j].kind == Tok::Punct(o) {
-                    depth += 1;
-                } else if tokens[j].kind == Tok::Punct(c) {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                j += 1;
-            }
-            spans.push((i, j));
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    spans
-}
-
-/// Lints one file's source. `rel_path` must be workspace-relative with
-/// forward slashes (it drives crate/file scoping).
+/// Lints one file in isolation. The interprocedural rules still run (over
+/// the single-file call graph), so intra-file transitive violations fire.
 pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
-    let lexed = lex(source);
+    let ws = lint_files(
+        &[(rel_path.to_string(), source.to_string())],
+        &DepMap::default(),
+    );
+    FileReport {
+        violations: ws.violations,
+        suppressed: ws.suppressed,
+    }
+}
+
+/// Lints a set of files as one workspace: per-file token rules plus the
+/// interprocedural rules over the shared call graph.
+pub fn lint_files(files: &[(String, String)], deps: &DepMap) -> WorkspaceLint {
+    let mut index = WorkspaceIndex::default();
+    let mut findings: Vec<Finding> = Vec::new();
+    for (rel_path, source) in files {
+        let lexed = lex(source);
+        for v in scan_file(rel_path, &lexed) {
+            findings.push(Finding {
+                v,
+                path: Vec::new(),
+            });
+        }
+        index.add_lexed(rel_path, &lexed);
+    }
+    let graph = CallGraph::build(&index, deps);
+    findings.extend(interprocedural(&index, &graph));
+
+    let (mut violations, mut suppressed) = apply_suppressions(&index, findings);
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.name(), &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.name(),
+            &b.message,
+        ))
+    });
+    suppressed.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.name(), &a.message).cmp(&(
+            &b.file,
+            b.line,
+            b.rule.name(),
+            &b.message,
+        ))
+    });
+    WorkspaceLint {
+        violations,
+        suppressed,
+        index,
+        graph,
+    }
+}
+
+/// The per-file token rules (everything that needs no call graph).
+fn scan_file(rel_path: &str, lexed: &LexOutput) -> Vec<Violation> {
     let tokens = &lexed.tokens;
     let krate = crate_of(rel_path);
     let is_lib = LIBRARY_CRATES.contains(&krate);
@@ -501,143 +589,341 @@ pub fn lint_source(rel_path: &str, source: &str) -> FileReport {
         scan_unit_newtype(rel_path, tokens, &in_test, &mut found);
     }
 
-    scan_hot_path_alloc(rel_path, tokens, &lexed.hot_markers, &mut found);
-
-    apply_pragmas(rel_path, found, &lexed.pragmas)
+    found
 }
 
-/// Constructors whose *call* allocates; a bare path (e.g. `Vec::new` passed
-/// to `resize_with` as a constructor function) does not fire.
-const ALLOC_CTOR_TYPES: [&str; 7] = [
-    "Vec",
-    "VecDeque",
-    "Box",
-    "String",
-    "BTreeMap",
-    "BTreeSet",
-    "BinaryHeap",
-];
+/// Renders a call path as `` `a` → `b` → `c` `` using short fn labels.
+fn render_path(ix: &WorkspaceIndex, path: &[usize]) -> String {
+    path.iter()
+        .map(|&v| format!("`{}`", fn_label(&ix.fns[v])))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
 
-/// Constructor method names that allocate when called on an
-/// [`ALLOC_CTOR_TYPES`] type.
-const ALLOC_CTOR_METHODS: [&str; 3] = ["new", "with_capacity", "from"];
+/// A reachability root with its BFS results, computed once per root.
+struct RootSearch {
+    root: usize,
+    hot: bool,
+    dist: Vec<u32>,
+    pred: Vec<usize>,
+}
 
-/// Method calls that allocate a fresh buffer regardless of receiver.
-const ALLOC_METHODS: [&str; 4] = ["collect", "to_vec", "to_owned", "to_string"];
+/// Runs the three graph rules and the marker-binding diagnostics.
+fn interprocedural(ix: &WorkspaceIndex, graph: &CallGraph) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
 
-/// How many lines below a `// wlint: hot` marker the marked `fn` may start
-/// (attributes and visibility qualifiers sit in between).
-const HOT_MARKER_WINDOW: u32 = 5;
-
-/// Enforces allocation-freedom inside `// wlint: hot` functions: the body
-/// of the `fn` following each marker must not call `Vec::new()`/`vec![]`/
-/// `.collect()`/`.to_vec()`/... — hot-path code reuses caller scratch.
-fn scan_hot_path_alloc(
-    rel_path: &str,
-    tokens: &[Token],
-    hot_markers: &[u32],
-    found: &mut Vec<Violation>,
-) {
-    for &marker in hot_markers {
-        // Bind the marker to the first `fn` on a later line, within a small
-        // window so a stray marker cannot silently cover distant code.
-        let fn_idx = tokens.iter().position(|t| {
-            t.line > marker
-                && t.line <= marker + HOT_MARKER_WINDOW
-                && matches!(&t.kind, Tok::Ident(s) if s == "fn")
-        });
-        let Some(fn_idx) = fn_idx else {
-            found.push(Violation {
-                rule: Rule::HotPathAlloc,
-                file: rel_path.to_string(),
-                line: marker,
+    // A hot/artifact marker that bound to no `fn` is a misplaced contract:
+    // report rather than silently covering nothing (or the wrong item).
+    for (file, line, marker, found_kind) in &ix.unbound_markers {
+        let rule = if *marker == "hot" {
+            Rule::HotPathAlloc
+        } else {
+            Rule::DeterminismTaint
+        };
+        let found_what = if found_kind == "nothing" {
+            String::new()
+        } else {
+            format!(" (next item is a `{found_kind}`)")
+        };
+        findings.push(Finding {
+            v: Violation {
+                rule,
+                file: file.clone(),
+                line: *line,
                 message: format!(
-                    "`// wlint: hot` marker does not precede a `fn` within {HOT_MARKER_WINDOW} lines"
+                    "`// wlint: {marker}` marker does not precede a `fn` within {MARKER_WINDOW} lines{found_what}"
                 ),
-            });
-            continue;
-        };
-        let fn_name = match tokens.get(fn_idx + 1).map(|t| &t.kind) {
-            Some(Tok::Ident(s)) => s.clone(),
-            _ => String::from("?"),
-        };
-        // Find the body: first `{` before a top-level `;` (a `;` means a
-        // bodiless trait-method signature — nothing to scan).
-        let mut k = fn_idx + 1;
-        let mut open = None;
-        while k < tokens.len() {
-            match tokens[k].kind {
-                Tok::Punct("{") => {
-                    open = Some(k);
-                    break;
-                }
-                Tok::Punct(";") => break,
-                _ => k += 1,
-            }
-        }
-        let Some(open) = open else { continue };
-        let mut depth = 0usize;
-        let mut close = tokens.len().saturating_sub(1);
-        for (n, t) in tokens.iter().enumerate().skip(open) {
-            match t.kind {
-                Tok::Punct("{") => depth += 1,
-                Tok::Punct("}") => {
-                    depth -= 1;
-                    if depth == 0 {
-                        close = n;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
+            },
+            path: Vec::new(),
+        });
+    }
 
-        for idx in open..=close {
-            let t = &tokens[idx];
-            let next = tokens.get(idx + 1).map(|t| &t.kind);
-            let next2 = tokens.get(idx + 2).map(|t| &t.kind);
-            let next3 = tokens.get(idx + 3).map(|t| &t.kind);
-            let what: Option<String> = match &t.kind {
-                // `vec![...]` / `format!(...)` macro allocations.
-                Tok::Ident(s)
-                    if (s == "vec" || s == "format") && next == Some(&Tok::Punct("!")) =>
-                {
-                    Some(format!("{s}!"))
+    let hot_roots: Vec<usize> = (0..ix.fns.len()).filter(|&i| ix.fns[i].is_hot).collect();
+    let artifact_roots: Vec<usize> = (0..ix.fns.len())
+        .filter(|&i| ix.fns[i].is_artifact)
+        .collect();
+    let pub_roots: Vec<usize> = (0..ix.fns.len())
+        .filter(|&i| {
+            let f = &ix.fns[i];
+            f.is_pub && !f.in_test && !f.is_hot && ENTRY_CRATES.contains(&f.crate_dir.as_str())
+        })
+        .collect();
+
+    let search = |roots: &[usize], hot: bool| -> Vec<RootSearch> {
+        roots
+            .iter()
+            .map(|&root| {
+                let (dist, pred) = graph.bfs(root);
+                RootSearch {
+                    root,
+                    hot,
+                    dist,
+                    pred,
                 }
-                // `Vec::new(...)`, `String::from(...)`, ... — the trailing
-                // `(` is required, so passing `Vec::new` as a constructor
-                // function (e.g. to `resize_with`) stays legal.
-                Tok::Ident(s) if ALLOC_CTOR_TYPES.contains(&s.as_str()) => {
-                    match (next, next2, next3) {
-                        (Some(Tok::Punct("::")), Some(Tok::Ident(m)), Some(Tok::Punct("(")))
-                            if ALLOC_CTOR_METHODS.contains(&m.as_str()) =>
-                        {
-                            Some(format!("{s}::{m}()"))
-                        }
-                        _ => None,
-                    }
+            })
+            .collect()
+    };
+    let hot_searches = search(&hot_roots, true);
+    let artifact_searches = search(&artifact_roots, false);
+    let pub_searches = search(&pub_roots, false);
+
+    // --- hot-path-alloc (transitive) ---
+    // One violation per allocation site, attributed to the best root:
+    // smallest hop count, earliest root as the tiebreak. (A site on several
+    // hot paths thus reports once; a path-level suppression of the reported
+    // path vouches the site everywhere — acceptable over-suppression,
+    // documented in DESIGN §14.)
+    let mut alloc_best: BTreeMap<(usize, u32, &str), (u32, usize)> = BTreeMap::new();
+    for (order, s) in hot_searches.iter().enumerate() {
+        for (fn_idx, f) in ix.fns.iter().enumerate() {
+            if s.dist[fn_idx] == u32::MAX || f.in_test {
+                continue;
+            }
+            for site in &f.alloc_sites {
+                let key = (fn_idx, site.line, site.what.as_str());
+                let cand = (s.dist[fn_idx], order);
+                let slot = alloc_best.entry(key).or_insert(cand);
+                if cand < *slot {
+                    *slot = cand;
                 }
-                // `.collect()`, `.to_vec()`, `.to_owned()`, `.to_string()`.
-                Tok::Punct(".") => match next {
-                    Some(Tok::Ident(m)) if ALLOC_METHODS.contains(&m.as_str()) => {
-                        Some(format!(".{m}()"))
-                    }
-                    _ => None,
-                },
-                _ => None,
-            };
-            if let Some(what) = what {
-                found.push(Violation {
-                    rule: Rule::HotPathAlloc,
-                    file: rel_path.to_string(),
-                    line: t.line,
-                    message: format!(
-                        "`{what}` allocates inside hot-path fn `{fn_name}`; reuse caller-provided scratch"
-                    ),
-                });
             }
         }
     }
+    for ((fn_idx, line, what), (dist, order)) in &alloc_best {
+        let s = &hot_searches[*order];
+        let path = graph.path(s.root, *fn_idx, &s.pred);
+        let f = &ix.fns[*fn_idx];
+        let message = if *dist == 0 {
+            format!(
+                "`{what}` allocates inside hot-path fn `{}`; reuse caller-provided scratch",
+                f.name
+            )
+        } else {
+            format!(
+                "hot {}: `{what}` allocates at {}:{line}; reuse caller-provided scratch",
+                render_path(ix, &path),
+                f.file
+            )
+        };
+        findings.push(Finding {
+            v: Violation {
+                rule: Rule::HotPathAlloc,
+                file: f.file.clone(),
+                line: *line,
+                message,
+            },
+            path,
+        });
+    }
+
+    // --- panic-reach ---
+    // Sinks: panic sites in non-library crates (library sites are governed
+    // by the site-level `panic` rule), plus slice-index sites for hot roots
+    // only. Hot roots win attribution over pub entry points.
+    let mut panic_best: BTreeMap<(usize, u32, &str), (bool, u32, usize)> = BTreeMap::new();
+    for (order, s) in hot_searches.iter().chain(pub_searches.iter()).enumerate() {
+        for (fn_idx, f) in ix.fns.iter().enumerate() {
+            if s.dist[fn_idx] == u32::MAX || f.in_test {
+                continue;
+            }
+            let mut sites: Vec<(u32, &str)> = Vec::new();
+            if !LIBRARY_CRATES.contains(&f.crate_dir.as_str()) {
+                sites.extend(f.panic_sites.iter().map(|p| (p.line, p.what.as_str())));
+            }
+            if s.hot {
+                sites.extend(f.index_sites.iter().map(|p| (p.line, p.what.as_str())));
+            }
+            for (line, what) in sites {
+                let key = (fn_idx, line, what);
+                // `!hot` sorts hot-rooted attributions first.
+                let cand = (!s.hot, s.dist[fn_idx], order);
+                let slot = panic_best.entry(key).or_insert(cand);
+                if cand < *slot {
+                    *slot = cand;
+                }
+            }
+        }
+    }
+    let all_searches: Vec<&RootSearch> = hot_searches.iter().chain(pub_searches.iter()).collect();
+    for ((fn_idx, line, what), (_, _, order)) in &panic_best {
+        let s = all_searches[*order];
+        let path = graph.path(s.root, *fn_idx, &s.pred);
+        let f = &ix.fns[*fn_idx];
+        let root_tag = if s.hot { "hot" } else { "pub" };
+        let message = format!(
+            "{root_tag} {}: `{what}` may panic at {}:{line}; return a taxonomy error or prove the bound",
+            render_path(ix, &path),
+            f.file
+        );
+        findings.push(Finding {
+            v: Violation {
+                rule: Rule::PanicReach,
+                file: f.file.clone(),
+                line: *line,
+                message,
+            },
+            path,
+        });
+    }
+
+    // --- determinism-taint ---
+    let mut taint_best: BTreeMap<(usize, u32, &str), (u32, usize)> = BTreeMap::new();
+    for (order, s) in artifact_searches.iter().enumerate() {
+        for (fn_idx, f) in ix.fns.iter().enumerate() {
+            if s.dist[fn_idx] == u32::MAX || f.in_test {
+                continue;
+            }
+            for (site, _) in &f.taint_sites {
+                let key = (fn_idx, site.line, site.what.as_str());
+                let cand = (s.dist[fn_idx], order);
+                let slot = taint_best.entry(key).or_insert(cand);
+                if cand < *slot {
+                    *slot = cand;
+                }
+            }
+        }
+    }
+    for ((fn_idx, line, what), (_, order)) in &taint_best {
+        let s = &artifact_searches[*order];
+        let path = graph.path(s.root, *fn_idx, &s.pred);
+        let f = &ix.fns[*fn_idx];
+        let kind = f
+            .taint_sites
+            .iter()
+            .find(|(site, _)| site.line == *line && site.what == *what)
+            .map(|(_, k)| *k)
+            .unwrap_or(TaintKind::WallClock);
+        let hint = match kind {
+            TaintKind::WallClock => "take a logical clock as input",
+            TaintKind::EnvVar => "only WIMI_THREADS/WIMI_CHUNK may steer results",
+            TaintKind::ThreadId => "thread identity is scheduling-dependent",
+            TaintKind::HashIter => "iteration order is unspecified; use BTreeMap/BTreeSet",
+        };
+        let message = format!(
+            "artifact {}: nondeterministic `{what}` at {}:{line} can taint a byte-stable artifact; {hint}",
+            render_path(ix, &path),
+            f.file
+        );
+        findings.push(Finding {
+            v: Violation {
+                rule: Rule::DeterminismTaint,
+                file: f.file.clone(),
+                line: *line,
+                message,
+            },
+            path,
+        });
+    }
+
+    findings
+}
+
+/// Splits findings into suppressed and surviving sets.
+///
+/// A finding is suppressed by (a) a matching pragma at the site — a
+/// standalone pragma covers the next 3 lines, a trailing pragma its own
+/// line — or, for interprocedural findings, (b) a matching pragma bound to
+/// any function on the reported call path (standalone immediately above the
+/// fn item, or trailing on the `fn` line). For `panic-reach`, a site-level
+/// `allow(panic)` also vouches (its justification is a local impossibility
+/// proof that holds on every path). The reverse asymmetry is deliberate:
+/// `allow(wall-clock)` does NOT vouch a source for `determinism-taint`.
+fn apply_suppressions(
+    ix: &WorkspaceIndex,
+    findings: Vec<Finding>,
+) -> (Vec<Violation>, Vec<Suppression>) {
+    let pragmas_of =
+        |file: &str| -> &[Pragma] { ix.meta(file).map(|m| m.pragmas.as_slice()).unwrap_or(&[]) };
+    let site_rule_matches = |p: &Pragma, rule: Rule| {
+        p.rule == rule.name() || (rule == Rule::PanicReach && p.rule == Rule::Panic.name())
+    };
+
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+    'findings: for finding in findings {
+        let v = finding.v;
+        // (a) site-level.
+        for p in pragmas_of(&v.file) {
+            let covers = if p.standalone {
+                v.line > p.line && v.line <= p.line + 3
+            } else {
+                v.line == p.line
+            };
+            if covers && site_rule_matches(p, v.rule) {
+                suppressed.push(Suppression {
+                    rule: v.rule,
+                    file: v.file,
+                    line: v.line,
+                    reason: p.reason.clone(),
+                    message: v.message,
+                });
+                continue 'findings;
+            }
+        }
+        // (b) path-level.
+        for &fn_idx in &finding.path {
+            let f = &ix.fns[fn_idx];
+            for p in pragmas_of(&f.file) {
+                let covers = if p.standalone {
+                    f.item_line > p.line && f.item_line <= p.line + 3
+                } else {
+                    p.line == f.decl_line
+                };
+                if covers && p.rule == v.rule.name() {
+                    suppressed.push(Suppression {
+                        rule: v.rule,
+                        file: v.file,
+                        line: v.line,
+                        reason: p.reason.clone(),
+                        message: v.message,
+                    });
+                    continue 'findings;
+                }
+            }
+        }
+        violations.push(v);
+    }
+    (violations, suppressed)
+}
+
+/// Token-index spans lying inside assert-family macro invocations.
+fn assert_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        let is_assert =
+            matches!(&tokens[i].kind, Tok::Ident(s) if ASSERT_MACROS.contains(&s.as_str()));
+        if is_assert && tokens[i + 1].kind == Tok::Punct("!") {
+            let open = &tokens[i + 2].kind;
+            let (o, c) = match open {
+                Tok::Punct("(") => ("(", ")"),
+                Tok::Punct("[") => ("[", "]"),
+                Tok::Punct("{") => ("{", "}"),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < tokens.len() {
+                if tokens[j].kind == Tok::Punct(o) {
+                    depth += 1;
+                } else if tokens[j].kind == Tok::Punct(c) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            spans.push((i, j));
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
 }
 
 /// Scans for `pub fn` signatures taking dimensionally named raw `f64`
@@ -796,37 +1082,6 @@ fn check_param(rel_path: &str, fn_name: &str, param: &[&Token], found: &mut Vec<
     }
 }
 
-/// Splits raw findings into suppressed and surviving sets using the file's
-/// pragmas. A standalone pragma covers the next code line(s) down to the
-/// first line it can bind to; a trailing pragma covers its own line.
-fn apply_pragmas(rel_path: &str, found: Vec<Violation>, pragmas: &[Pragma]) -> FileReport {
-    let mut report = FileReport::default();
-    for v in found {
-        let hit = pragmas.iter().find(|p| {
-            p.rule == v.rule.name()
-                && if p.standalone {
-                    // A standalone pragma suppresses occurrences on the
-                    // lines immediately following it (a small window lets
-                    // one pragma cover a wrapped statement).
-                    v.line > p.line && v.line <= p.line + 3
-                } else {
-                    v.line == p.line
-                }
-        });
-        match hit {
-            Some(p) => report.suppressed.push(Suppression {
-                rule: v.rule,
-                file: rel_path.to_string(),
-                line: v.line,
-                reason: p.reason.clone(),
-                message: v.message,
-            }),
-            None => report.violations.push(v),
-        }
-    }
-    report
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -949,6 +1204,61 @@ fn cold() -> Vec<f64> {
     }
 
     #[test]
+    fn hot_path_alloc_is_transitive_with_path_in_message() {
+        let src = "
+// wlint: hot
+fn hot(out: &mut Vec<f64>) {
+    mid(out);
+}
+fn mid(out: &mut Vec<f64>) {
+    leaf(out);
+}
+fn leaf(out: &mut Vec<f64>) {
+    let v = vec![0.0];
+    out.extend_from_slice(&v);
+}
+";
+        let r = lint_source(LIB, src);
+        let hot: Vec<&Violation> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::HotPathAlloc)
+            .collect();
+        assert_eq!(hot.len(), 1, "{:?}", hot);
+        assert_eq!(hot[0].line, 10, "violation sits at the allocation site");
+        assert!(
+            hot[0].message.contains("`hot` → `mid` → `leaf`"),
+            "message must carry the full path: {}",
+            hot[0].message
+        );
+    }
+
+    #[test]
+    fn path_level_pragma_vouches_whole_call_chain() {
+        let src = "
+// wlint: hot
+fn hot(out: &mut Vec<f64>) {
+    grow(out);
+}
+// wlint: allow(hot-path-alloc) — one-time pool growth, reused afterwards
+fn grow(out: &mut Vec<f64>) {
+    let v = vec![0.0];
+    out.extend_from_slice(&v);
+}
+";
+        let r = lint_source(LIB, src);
+        assert!(
+            !r.violations.iter().any(|v| v.rule == Rule::HotPathAlloc),
+            "{:?}",
+            r.violations
+        );
+        assert!(r
+            .suppressed
+            .iter()
+            .any(|s| s.rule == Rule::HotPathAlloc && s.reason.contains("pool growth")));
+    }
+
+    #[test]
     fn hot_path_alloc_permits_constructor_paths_and_scratch_reuse() {
         // `Vec::new` as a *function reference* (no call parens) is how
         // `resize_with` grows a scratch pool once — that must stay legal.
@@ -996,6 +1306,150 @@ const X: usize = 4;
     }
 
     #[test]
+    fn hot_marker_does_not_bind_past_an_impl_line() {
+        // Regression: the marker used to bind to the first `fn` token in
+        // the window even when an `impl` (or other item) started first,
+        // silently marking a method the author never pointed at.
+        let src = "
+// wlint: hot
+impl Pool {
+    fn grow(&mut self) {
+        self.slots = Vec::new();
+    }
+}
+";
+        let r = lint_source(LIB, src);
+        assert_eq!(r.violations.len(), 1, "{:?}", r.violations);
+        assert!(r.violations[0].message.contains("does not precede"));
+        assert!(
+            r.violations[0].message.contains("impl"),
+            "diagnostic names the intervening item: {}",
+            r.violations[0].message
+        );
+    }
+
+    #[test]
+    fn panic_reach_traces_through_helpers() {
+        let src = "
+// wlint: hot
+fn hot(v: &[f64]) -> f64 {
+    step(v)
+}
+fn step(v: &[f64]) -> f64 {
+    pick(v)
+}
+fn pick(v: &[f64]) -> f64 {
+    v[0]
+}
+";
+        let r = lint_source(APP, src);
+        let pr: Vec<&Violation> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::PanicReach)
+            .collect();
+        assert_eq!(pr.len(), 1, "{:?}", r.violations);
+        assert_eq!(pr[0].line, 10);
+        assert!(
+            pr[0].message.contains("`hot` → `step` → `pick`"),
+            "{}",
+            pr[0].message
+        );
+    }
+
+    #[test]
+    fn panic_reach_site_vouched_by_allow_panic() {
+        let src = "
+// wlint: hot
+fn hot(v: &[f64]) -> f64 {
+    pick(v)
+}
+fn pick(v: &[f64]) -> f64 {
+    // wlint: allow(panic) — caller guarantees at least one sample
+    v.first().copied().unwrap()
+}
+";
+        let r = lint_source(APP, src);
+        assert!(
+            !r.violations.iter().any(|v| v.rule == Rule::PanicReach),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn determinism_taint_reaches_through_calls() {
+        let src = "
+// wlint: artifact
+fn render(out: &mut String) {
+    stamp(out);
+}
+fn stamp(out: &mut String) {
+    let id = std::env::var(\"HOSTNAME\").unwrap_or_default();
+    out.push_str(&id);
+}
+";
+        let r = lint_source(APP, src);
+        let dt: Vec<&Violation> = r
+            .violations
+            .iter()
+            .filter(|v| v.rule == Rule::DeterminismTaint)
+            .collect();
+        assert_eq!(dt.len(), 1, "{:?}", r.violations);
+        assert!(
+            dt[0].message.contains("env::var(\"HOSTNAME\")"),
+            "{}",
+            dt[0].message
+        );
+        assert!(
+            dt[0].message.contains("`render` → `stamp`"),
+            "{}",
+            dt[0].message
+        );
+    }
+
+    #[test]
+    fn determinism_taint_allows_the_env_allowlist() {
+        let src = "
+// wlint: artifact
+fn render(out: &mut String) {
+    let t = std::env::var(\"WIMI_THREADS\").unwrap_or_default();
+    out.push_str(&t);
+}
+";
+        let r = lint_source(APP, src);
+        assert!(
+            !r.violations
+                .iter()
+                .any(|v| v.rule == Rule::DeterminismTaint),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn allow_wall_clock_does_not_vouch_determinism_taint() {
+        // The asymmetry: a site-suppressed wall-clock read is still a taint
+        // source for artifact renderers.
+        let src = "
+// wlint: artifact
+fn render(out: &mut String) {
+    // wlint: allow(wall-clock) — value is logged, never rendered (stale claim)
+    let t = std::time::Instant::now();
+    let _ = (t, out);
+}
+";
+        let r = lint_source(LIB, src);
+        assert!(
+            r.violations
+                .iter()
+                .any(|v| v.rule == Rule::DeterminismTaint),
+            "{:?}",
+            r.violations
+        );
+    }
+
+    #[test]
     fn float_cast_scoped_to_quantisation_files() {
         let src = "fn q(x: f64) -> i8 { x as i8 }\n";
         assert_eq!(
@@ -1003,5 +1457,18 @@ const X: usize = 4;
             1
         );
         assert!(lint_source(LIB, src).violations.is_empty());
+    }
+
+    #[test]
+    fn explain_texts_exist_for_every_rule() {
+        for rule in Rule::ALL {
+            assert!(
+                rule.explain().len() > 80,
+                "{} explain too short",
+                rule.name()
+            );
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
     }
 }

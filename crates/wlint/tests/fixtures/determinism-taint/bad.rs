@@ -1,0 +1,17 @@
+//! Known-bad: an artifact renderer reaches a non-allowlisted `env::var`
+//! two call hops down — host identity would leak into a byte-stable
+//! artifact.
+
+// wlint: artifact
+fn render(out: &mut String) {
+    header(out);
+}
+
+fn header(out: &mut String) {
+    stamp(out);
+}
+
+fn stamp(out: &mut String) {
+    let host = std::env::var("HOSTNAME").unwrap_or_default();
+    out.push_str(&host);
+}

@@ -1,0 +1,13 @@
+//! Hot entry whose allocation sits two hops and one crate away, reached
+//! through a cross-crate `use` rename.
+
+use appb::helpers::grow as grow_buf;
+
+// wlint: hot
+pub fn hot_entry(out: &mut Vec<f64>) {
+    mid(out);
+}
+
+fn mid(out: &mut Vec<f64>) {
+    grow_buf(out);
+}

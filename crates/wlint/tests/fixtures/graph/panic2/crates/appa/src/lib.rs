@@ -1,0 +1,14 @@
+//! Hot entry reaching a slice index two hops down.
+
+// wlint: hot
+pub fn hot_entry(v: &[f64]) -> f64 {
+    step(v)
+}
+
+fn step(v: &[f64]) -> f64 {
+    pick(v)
+}
+
+fn pick(v: &[f64]) -> f64 {
+    v[0]
+}

@@ -1,0 +1,18 @@
+//! Same shape as the hot2 tree, but with a path-level suppression on the
+//! intermediate fn: the pragma vouches every violation routed through
+//! `mid`, so the workspace lints clean with one recorded suppression.
+
+// wlint: hot
+pub fn hot_entry(out: &mut Vec<f64>) {
+    mid(out);
+}
+
+// wlint: allow(hot-path-alloc) — one-time pool growth vouched for the whole path
+fn mid(out: &mut Vec<f64>) {
+    grow(out);
+}
+
+fn grow(out: &mut Vec<f64>) {
+    let v = vec![0.0];
+    out.extend_from_slice(&v);
+}

@@ -1,0 +1,13 @@
+//! Artifact renderer reaching a wall-clock read two hops and one crate
+//! away.
+
+use appd::clock::uptime_label;
+
+// wlint: artifact
+pub fn render_summary(out: &mut String) {
+    append_header(out);
+}
+
+fn append_header(out: &mut String) {
+    out.push_str(&uptime_label());
+}

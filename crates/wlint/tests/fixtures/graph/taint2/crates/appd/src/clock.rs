@@ -1,0 +1,7 @@
+//! The nondeterminism source: an `Instant::now` read that would leak
+//! scheduling-dependent bits into the artifact.
+
+pub fn uptime_label() -> String {
+    let t = std::time::Instant::now();
+    format!("{:?}", t)
+}

@@ -1,0 +1,53 @@
+//! Trait-method dispatch and mutual recursion: the receiver-less method
+//! call over-approximates to every `render_out` impl, and the ping/pong
+//! cycle collapses to one SCC without losing the path to the allocation
+//! behind it.
+
+pub struct Fast;
+pub struct Slow;
+
+pub trait Render {
+    fn render_out(&self, out: &mut Vec<f64>);
+}
+
+impl Render for Fast {
+    fn render_out(&self, out: &mut Vec<f64>) {
+        out.clear();
+    }
+}
+
+impl Render for Slow {
+    fn render_out(&self, out: &mut Vec<f64>) {
+        let v = vec![1.0];
+        out.extend_from_slice(&v);
+    }
+}
+
+// wlint: hot
+pub fn hot_entry(r: &Fast, out: &mut Vec<f64>) {
+    r.render_out(out);
+}
+
+// wlint: hot
+pub fn hot_cycle(n: u32, out: &mut Vec<f64>) {
+    ping(n, out);
+}
+
+fn ping(n: u32, out: &mut Vec<f64>) {
+    if n > 0 {
+        pong(n - 1, out);
+    }
+}
+
+fn pong(n: u32, out: &mut Vec<f64>) {
+    out.push(f64::from(n));
+    if n > 0 {
+        ping(n - 1, out);
+    }
+    grow(out);
+}
+
+fn grow(out: &mut Vec<f64>) {
+    let copy = out.to_vec();
+    out.extend_from_slice(&copy);
+}

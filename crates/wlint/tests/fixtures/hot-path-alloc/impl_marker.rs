@@ -1,0 +1,11 @@
+//! Regression for the marker-binding bugfix: a `// wlint: hot` marker
+//! followed by an `impl` must NOT bind past it onto the method inside.
+//! The marker is reported as unbound and `grow` stays cold — its `vec!`
+//! must not fire hot-path-alloc.
+
+// wlint: hot
+impl Pool {
+    fn grow(&mut self) {
+        self.slots = vec![0.0];
+    }
+}

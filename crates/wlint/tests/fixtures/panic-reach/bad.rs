@@ -1,0 +1,15 @@
+//! Known-bad: a hot entry point reaches an `.unwrap()` two call hops down.
+//! The violation must carry the full `hot_entry → step → pick` path.
+
+// wlint: hot
+fn hot_entry(v: &[f64]) -> f64 {
+    step(v)
+}
+
+fn step(v: &[f64]) -> f64 {
+    pick(v)
+}
+
+fn pick(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Clean: the same call chain with the panic site handled — the fallible
+//! lookup degrades to a default instead of aborting.
+
+// wlint: hot
+fn hot_entry(v: &[f64]) -> f64 {
+    step(v)
+}
+
+fn step(v: &[f64]) -> f64 {
+    pick(v)
+}
+
+fn pick(v: &[f64]) -> f64 {
+    v.first().copied().unwrap_or(0.0)
+}

@@ -19,6 +19,9 @@ fn fixture(rule: &str, kind: &str) -> String {
 fn virtual_path(rule: Rule) -> &'static str {
     match rule {
         Rule::FloatCast => "crates/wiphy/src/csi.rs",
+        // App crate: the site-level panic/wall-clock rules stay quiet, so
+        // the interprocedural fixtures exercise exactly one rule each.
+        Rule::PanicReach | Rule::DeterminismTaint => "crates/experiments/src/fixture.rs",
         _ => "crates/wiphy/src/fixture.rs",
     }
 }
@@ -92,6 +95,56 @@ fn bad_pragma_fixture() {
 #[test]
 fn hot_path_alloc_fixture() {
     check_rule(Rule::HotPathAlloc);
+}
+
+#[test]
+fn panic_reach_fixture() {
+    check_rule(Rule::PanicReach);
+}
+
+#[test]
+fn determinism_taint_fixture() {
+    check_rule(Rule::DeterminismTaint);
+}
+
+#[test]
+fn panic_reach_message_carries_the_full_call_path() {
+    let bad = lint_source(
+        virtual_path(Rule::PanicReach),
+        &fixture("panic-reach", "bad"),
+    );
+    let v = bad
+        .violations
+        .iter()
+        .find(|v| v.rule == Rule::PanicReach)
+        .expect("panic-reach fires");
+    assert!(
+        v.message.contains("hot `hot_entry` → `step` → `pick`"),
+        "2-hop path missing from: {}",
+        v.message
+    );
+    assert_eq!(v.line, 14, "violation anchors at the sink, not the root");
+}
+
+#[test]
+fn hot_marker_before_impl_is_reported_unbound_not_rebound() {
+    // Regression: the marker must not skip the `impl` line and silently
+    // mark the method inside it hot.
+    let report = lint_source(
+        "crates/wiphy/src/fixture.rs",
+        &fixture("hot-path-alloc", "impl_marker"),
+    );
+    assert_eq!(
+        report.violations.len(),
+        1,
+        "exactly the unbound-marker finding; got {:?}",
+        report.violations
+    );
+    let v = &report.violations[0];
+    assert_eq!(v.rule, Rule::HotPathAlloc);
+    assert_eq!(v.line, 6, "anchors at the marker line");
+    assert!(v.message.contains("does not precede"), "got: {}", v.message);
+    assert!(v.message.contains("`impl`"), "got: {}", v.message);
 }
 
 #[test]
