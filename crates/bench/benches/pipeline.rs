@@ -65,7 +65,7 @@ fn bench_batch_identification(c: &mut Criterion) {
             BenchmarkId::new("run_identification_3x4", threads),
             &threads,
             |b, &t| {
-                std::env::set_var("WIMI_THREADS", t.to_string());
+                wimi_core::par::set_thread_override(Some(t));
                 b.iter(|| {
                     let opts = RunOptions {
                         n_train: 4,
@@ -75,7 +75,7 @@ fn bench_batch_identification(c: &mut Criterion) {
                     };
                     black_box(run_identification(&materials, &opts).accuracy())
                 });
-                std::env::remove_var("WIMI_THREADS");
+                wimi_core::par::set_thread_override(None);
             },
         );
         // Same workload with an enabled recorder: the delta against the
@@ -84,7 +84,7 @@ fn bench_batch_identification(c: &mut Criterion) {
             BenchmarkId::new("run_identification_3x4_recorded", threads),
             &threads,
             |b, &t| {
-                std::env::set_var("WIMI_THREADS", t.to_string());
+                wimi_core::par::set_thread_override(Some(t));
                 b.iter(|| {
                     let opts = RunOptions {
                         n_train: 4,
@@ -95,7 +95,7 @@ fn bench_batch_identification(c: &mut Criterion) {
                     };
                     black_box(run_identification(&materials, &opts).accuracy())
                 });
-                std::env::remove_var("WIMI_THREADS");
+                wimi_core::par::set_thread_override(None);
             },
         );
         // Same workload with recorder AND flight-recorder trace sink
@@ -105,7 +105,7 @@ fn bench_batch_identification(c: &mut Criterion) {
             BenchmarkId::new("run_identification_3x4_traced", threads),
             &threads,
             |b, &t| {
-                std::env::set_var("WIMI_THREADS", t.to_string());
+                wimi_core::par::set_thread_override(Some(t));
                 b.iter(|| {
                     let opts = RunOptions {
                         n_train: 4,
@@ -117,7 +117,7 @@ fn bench_batch_identification(c: &mut Criterion) {
                     };
                     black_box(run_identification(&materials, &opts).accuracy())
                 });
-                std::env::remove_var("WIMI_THREADS");
+                wimi_core::par::set_thread_override(None);
             },
         );
         // Disabled-sink contract: attaching TraceSink::disabled() must
@@ -127,7 +127,7 @@ fn bench_batch_identification(c: &mut Criterion) {
             BenchmarkId::new("run_identification_3x4_trace_disabled", threads),
             &threads,
             |b, &t| {
-                std::env::set_var("WIMI_THREADS", t.to_string());
+                wimi_core::par::set_thread_override(Some(t));
                 b.iter(|| {
                     let sink = wimi_trace::TraceSink::disabled();
                     let opts = RunOptions {
@@ -141,7 +141,7 @@ fn bench_batch_identification(c: &mut Criterion) {
                     assert_eq!(sink.events_emitted(), 0, "disabled sink must stay silent");
                     black_box(acc)
                 });
-                std::env::remove_var("WIMI_THREADS");
+                wimi_core::par::set_thread_override(None);
             },
         );
     }

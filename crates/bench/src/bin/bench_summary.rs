@@ -103,7 +103,7 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 /// scaled down to bench-friendly trial counts. Returns median seconds per
 /// full run under `threads` workers.
 fn ident_seconds(materials: &[Material], threads: usize) -> f64 {
-    std::env::set_var("WIMI_THREADS", threads.to_string());
+    wimi_core::par::set_thread_override(Some(threads));
     let t = time_median(3, || {
         let opts = RunOptions {
             n_train: 3,
@@ -113,7 +113,7 @@ fn ident_seconds(materials: &[Material], threads: usize) -> f64 {
         };
         std::hint::black_box(run_identification(materials, &opts).accuracy());
     });
-    std::env::remove_var("WIMI_THREADS");
+    wimi_core::par::set_thread_override(None);
     t
 }
 
@@ -122,7 +122,7 @@ fn ident_seconds(materials: &[Material], threads: usize) -> f64 {
 /// (warm-up) call grows scratch pools and lazy statics; the measured
 /// second call is the steady state the SoA refactor optimises.
 fn steady_state_allocs(packets: usize) -> (u64, u64) {
-    std::env::set_var("WIMI_THREADS", "1");
+    wimi_core::par::set_thread_override(Some(1));
     let mut sim = Simulator::new(Scenario::builder().build(), 7);
     sim.set_liquid(Some(Liquid::Milk.into()));
     let _warm = sim.capture(packets);
@@ -136,7 +136,7 @@ fn steady_state_allocs(packets: usize) -> (u64, u64) {
     let measure_allocs = count_allocs(|| {
         std::hint::black_box(wimi.measure(&base, &tar));
     });
-    std::env::remove_var("WIMI_THREADS");
+    wimi_core::par::set_thread_override(None);
     (capture_allocs, measure_allocs)
 }
 

@@ -611,6 +611,34 @@ impl WiMi {
         let _trace_span = self.trace.as_ref().map(|t| t.span(StageId::Classification));
         Ok(model.predict(&scaler.transform_one(&feature.as_vector())))
     }
+
+    /// Classifies a batch of already-extracted features in one call:
+    /// one classification span and one model dispatch amortised over the
+    /// whole batch. This is the inference path the `wimi-serve` engine
+    /// coalesces concurrent session requests onto; labels come back in
+    /// input order, identical to calling [`WiMi::classify_feature`] per
+    /// feature.
+    ///
+    /// # Errors
+    ///
+    /// [`IdentifyError::NotTrained`] before training.
+    pub fn classify_features(
+        &self,
+        features: &[MaterialFeature],
+    ) -> Result<Vec<usize>, IdentifyError> {
+        let model = self.model.as_ref().ok_or(IdentifyError::NotTrained)?;
+        let scaler = self.scaler.as_ref().ok_or(IdentifyError::NotTrained)?;
+        let _span = self
+            .recorder
+            .as_ref()
+            .map(|r| r.span(StageId::Classification));
+        let _trace_span = self.trace.as_ref().map(|t| t.span(StageId::Classification));
+        let scaled: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| scaler.transform_one(&f.as_vector()))
+            .collect();
+        Ok(model.predict_batch(&scaled))
+    }
 }
 
 /// Folds one finished measurement into the recorder: outcome counters,

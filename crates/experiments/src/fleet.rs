@@ -1,0 +1,208 @@
+//! `fleet` subcommand: runs the deterministic synthetic fleet through
+//! `wimi-serve` and writes/gates its `wimi-serve/1` summary.
+//!
+//! This is the CLI surface CI drives: one run at `WIMI_THREADS=1` and one
+//! at `WIMI_THREADS=4` must produce byte-identical summaries (`cmp`), and
+//! `--check BENCH_PR9.json` gates the run's deterministic totals against
+//! the committed `fleet_budgets` ceilings, fail-closed like the campaign
+//! gate.
+
+use wimi_serve::{run_campaign_fleet, run_fleet, summary_json, validate_summary, FleetConfig};
+use wimi_trace::analyze;
+
+/// Deterministic gateable totals of a fleet report: service totals first,
+/// then every fleet-wide counter, canonical order.
+fn fleet_totals(report: &wimi_serve::FleetReport) -> Vec<(String, u64)> {
+    let mut totals: Vec<(String, u64)> = vec![
+        ("requests".to_owned(), report.requests),
+        ("responses".to_owned(), report.responses),
+        ("ok".to_owned(), report.ok),
+        ("failed".to_owned(), report.failed),
+        ("shed".to_owned(), report.shed),
+        ("correct".to_owned(), report.correct),
+        ("model_keys".to_owned(), report.model_keys as u64),
+        ("queue_peak".to_owned(), report.queue_peak as u64),
+    ];
+    for &(name, value) in &report.counters {
+        totals.push((name.to_owned(), value));
+    }
+    totals
+}
+
+/// Checks a fleet report's deterministic totals against the
+/// `fleet_budgets` object of a committed bench summary. Fail-closed: a
+/// missing or empty object, a non-integer budget, or a budget name that
+/// matches no total is an error, not a skip.
+pub fn check_fleet_budgets(
+    bench_json: &str,
+    report: &wimi_serve::FleetReport,
+) -> Result<Vec<analyze::BudgetRow>, String> {
+    let bench = wimi_obs::json::parse(bench_json).map_err(|e| format!("bench summary: {e}"))?;
+    let Some(wimi_obs::json::Json::Obj(budgets)) = bench.get("fleet_budgets") else {
+        return Err("bench summary has no \"fleet_budgets\" object".into());
+    };
+    if budgets.is_empty() {
+        return Err("\"fleet_budgets\" is empty — nothing to gate on".into());
+    }
+    let totals = fleet_totals(report);
+    let mut rows = Vec::new();
+    for (name, value) in budgets {
+        let budget = value
+            .as_u64()
+            .ok_or_else(|| format!("budget \"{name}\" must be a non-negative integer"))?;
+        let actual = totals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("budget \"{name}\" does not match any fleet total"))?;
+        rows.push(analyze::BudgetRow {
+            name: name.clone(),
+            actual,
+            budget,
+            ok: actual <= budget,
+        });
+    }
+    Ok(rows)
+}
+
+/// `fleet [--sessions N] [--measurements M] [--campaign PATH]
+/// [--fleet-out PATH] [--check BENCH]`: runs the synthetic fleet (or one
+/// session per cell of a campaign file), prints totals, writes the
+/// summary, and optionally gates it. Exit 1 on budget violations or an
+/// invalid summary, exit 2 on I/O errors.
+pub fn fleet_run(
+    sessions: Option<usize>,
+    measurements: Option<u64>,
+    campaign_path: Option<&str>,
+    out: Option<&str>,
+    check: Option<&str>,
+) {
+    let mut cfg = FleetConfig::default();
+    if let Some(n) = sessions {
+        cfg.sessions = n;
+    }
+    if let Some(m) = measurements {
+        cfg.measurements = m;
+    }
+
+    let report = match campaign_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("fleet: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let campaign = match wimi_campaign::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            run_campaign_fleet(&campaign, &cfg)
+        }
+        None => run_fleet(&cfg),
+    };
+
+    let summary = summary_json(&report);
+    // The renderer and validator are independent implementations; running
+    // the validator here means a malformed summary can never reach CI's
+    // byte-compare silently.
+    if let Err(e) = validate_summary(&summary) {
+        eprintln!("fleet: summary failed validation: {e}");
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "fleet: {} sessions x {} measurements: {} ok / {} failed / {} shed, {} correct, {} model keys",
+        report.sessions,
+        report.measurements,
+        report.ok,
+        report.failed,
+        report.shed,
+        report.correct,
+        report.model_keys
+    );
+
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &summary) {
+                eprintln!("fleet: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("fleet: summary written to {path}");
+        }
+        None => print!("{summary}"),
+    }
+
+    if let Some(bench_path) = check {
+        let bench = match std::fs::read_to_string(bench_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fleet: cannot read {bench_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match check_fleet_budgets(&bench, &report) {
+            Ok(rows) => {
+                print!("{}", analyze::budget_table(&rows));
+                if rows.iter().any(|r| !r.ok) {
+                    eprintln!("fleet: budget check FAILED against {bench_path}");
+                    std::process::exit(1);
+                }
+                eprintln!("fleet: budget check OK against {bench_path}");
+            }
+            Err(e) => {
+                eprintln!("fleet: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> wimi_serve::FleetReport {
+        run_fleet(&FleetConfig {
+            sessions: 4,
+            measurements: 2,
+            packets: 8,
+            ..FleetConfig::default()
+        })
+    }
+
+    #[test]
+    fn budgets_gate_fleet_totals() {
+        let report = tiny_report();
+        let bench = format!(
+            "{{\"fleet_budgets\": {{\"requests\": {}, \"failed\": {}, \"captures_taken\": 100000}}}}",
+            report.requests, report.failed
+        );
+        let rows = check_fleet_budgets(&bench, &report)
+            .unwrap_or_else(|e| panic!("budgets must parse: {e}"));
+        assert!(rows.iter().all(|r| r.ok));
+
+        let tight = "{\"fleet_budgets\": {\"requests\": 0}}";
+        let rows = check_fleet_budgets(tight, &report)
+            .unwrap_or_else(|e| panic!("budgets must parse: {e}"));
+        assert!(rows.iter().any(|r| !r.ok), "zero ceiling must trip");
+    }
+
+    #[test]
+    fn budget_check_fails_closed() {
+        let report = tiny_report();
+        assert!(check_fleet_budgets("{}", &report).is_err());
+        assert!(check_fleet_budgets("{\"fleet_budgets\": {}}", &report).is_err());
+        assert!(
+            check_fleet_budgets("{\"fleet_budgets\": {\"no_such_total\": 1}}", &report).is_err()
+        );
+        assert!(
+            check_fleet_budgets("{\"fleet_budgets\": {\"requests\": -3}}", &report).is_err(),
+            "negative budget must be rejected"
+        );
+    }
+}

@@ -49,49 +49,9 @@ pub fn paper_liquids() -> Vec<Material> {
 
 /// Bounded retry policy for the re-seat-and-retry measurement protocol.
 ///
-/// Real measurement campaigns cannot retry forever: every attempt costs
-/// two captures' worth of air time. The policy caps attempts two ways —
-/// a hard attempt count and a total packet budget — and the effective
-/// attempt count is whichever bound is tighter (never below one).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Hard cap on measurement attempts per trial.
-    pub max_attempts: usize,
-    /// Total packets (baseline + target captures both count) one trial
-    /// may spend across all its attempts.
-    pub packet_budget: usize,
-}
-
-impl Default for RetryPolicy {
-    /// Four attempts under a 400-packet budget: identical to the old
-    /// hard-coded 4-attempt loop for the paper's 20-packet captures
-    /// (4 × 2 × 20 = 160 ≤ 400), but a 60-packet capture now stops after
-    /// three attempts instead of wasting a fourth.
-    fn default() -> Self {
-        RetryPolicy {
-            max_attempts: 4,
-            packet_budget: 400,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// A policy bounded only by attempt count (no packet budget).
-    pub fn attempts(n: usize) -> Self {
-        RetryPolicy {
-            max_attempts: n,
-            packet_budget: usize::MAX,
-        }
-    }
-
-    /// Attempts allowed for a given capture length: the tighter of the
-    /// attempt cap and the packet budget, but always at least one.
-    pub fn allowed_attempts(&self, packets_per_capture: usize) -> usize {
-        let per_attempt = 2 * packets_per_capture.max(1);
-        let by_budget = self.packet_budget / per_attempt;
-        self.max_attempts.min(by_budget).max(1)
-    }
-}
+/// The policy moved to `wimi-serve` (sessions need it per link); the
+/// harness re-exports it so experiment call sites keep their paths.
+pub use wimi_serve::retry::RetryPolicy;
 
 /// Options of one identification run.
 pub struct RunOptions {
@@ -237,14 +197,8 @@ pub fn capture_pair_faulted(
     (baseline, target)
 }
 
-/// The capture seed of retry `attempt` (0-based) of the measurement
-/// seeded `seed`. Multiplying by an odd constant is a bijection on `u64`
-/// and the attempt offsets are pairwise distinct, so every attempt's
-/// capture — and therefore its reseeded fault stream — is distinct from
-/// every other attempt of the same measurement.
-pub fn attempt_capture_seed(seed: u64, attempt: usize) -> u64 {
-    seed.wrapping_mul(31).wrapping_add(attempt as u64 * 7919)
-}
+/// The capture seed of a retry attempt (see `wimi_serve::retry`).
+pub use wimi_serve::retry::attempt_capture_seed;
 
 /// Measures one material with the re-seat-and-retry protocol. Returns the
 /// feature and the number of rejected attempts.
@@ -283,12 +237,20 @@ pub fn measure_target(
     // identity the deterministic fan-out uses, so the rendered trace does
     // not depend on which worker thread ran it.
     let _task = trace.map(|_| task_scope(TaskKey::measurement(seed)));
-    let allowed = opts.retry.allowed_attempts(opts.packets);
-    for attempt in 0..allowed {
+    // `planned` is the nominal-cost attempt cap traces report as `max`;
+    // the loop itself charges the budget with what each attempt *kept*
+    // (post-screening), so salvage savings fund further attempts instead
+    // of being billed as if every capture ran at full length.
+    let planned = opts.retry.allowed_attempts(opts.packets);
+    let mut attempts = 0usize;
+    while opts
+        .retry
+        .allows_another(attempts, stats.packets_spent, opts.packets)
+    {
         if let Some(t) = trace {
             t.emit(TraceEvent::Attempt {
-                attempt: attempt as u32 + 1,
-                max: allowed as u32,
+                attempt: attempts as u32 + 1,
+                max: planned as u32,
             });
         }
         let offset_cm = 1.0 + placement.gen_range(-0.5..0.5);
@@ -296,21 +258,22 @@ pub fn measure_target(
             spec,
             opts.environment,
             opts.packets,
-            attempt_capture_seed(seed, attempt),
+            attempt_capture_seed(seed, attempts),
             offset_cm,
             opts.modify.as_ref(),
             opts.fault.as_ref(),
             rec,
             trace,
         );
-        stats.packets_spent += 2 * opts.packets;
         let m = extractor.measure(&base, &tar);
+        stats.packets_spent += m.quality.baseline_packets_kept + m.quality.target_packets_kept;
+        attempts += 1;
         match m.feature {
             Ok(f) => {
                 stats.salvaged = m.quality.salvaged();
                 if let Some(rec) = rec {
                     rec.add(CounterId::Retries, stats.rejected as u64);
-                    rec.record_attempts(attempt as u64 + 1);
+                    rec.record_attempts(attempts as u64);
                 }
                 return (Some(f), stats);
             }
@@ -323,7 +286,7 @@ pub fn measure_target(
     }
     if let Some(t) = trace {
         t.emit(TraceEvent::RetriesExhausted {
-            attempts: allowed as u32,
+            attempts: attempts as u32,
         });
         t.mark_failure();
     }
@@ -524,11 +487,11 @@ mod tests {
             packets: 10,
             ..RunOptions::default()
         };
-        std::env::set_var("WIMI_THREADS", "1");
+        wimi_core::par::set_thread_override(Some(1));
         let serial = run_identification(&materials, &opts);
-        std::env::set_var("WIMI_THREADS", "4");
+        wimi_core::par::set_thread_override(Some(4));
         let parallel = run_identification(&materials, &opts);
-        std::env::remove_var("WIMI_THREADS");
+        wimi_core::par::set_thread_override(None);
         assert_eq!(serial.confusion, parallel.confusion);
         assert_eq!(serial.dropped_trials, parallel.dropped_trials);
         assert_eq!(serial.rejected_measurements, parallel.rejected_measurements);

@@ -18,6 +18,7 @@ pub mod accuracy;
 pub mod campaign;
 pub mod degradation;
 pub mod features;
+pub mod fleet;
 pub mod harness;
 pub mod microbench;
 pub mod obs;

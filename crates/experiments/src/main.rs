@@ -1,6 +1,6 @@
 //! CLI entry point: `cargo run -p wimi-experiments --release -- all`.
 
-use wimi_experiments::{campaign, obs, run_named, trace, Effort, ALL_EXPERIMENTS};
+use wimi_experiments::{campaign, fleet, obs, run_named, trace, Effort, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
@@ -10,7 +10,9 @@ fn usage() -> ! {
          wimi-experiments trace-diff A B\n       \
          wimi-experiments campaign-run PATH [--campaign-out DIR] [--cell N] [--check BENCH]\n       \
          wimi-experiments campaign-diff DIR_A DIR_B\n       \
-         wimi-experiments campaign-validate PATH"
+         wimi-experiments campaign-validate PATH\n       \
+         wimi-experiments fleet [--sessions N] [--measurements M] [--campaign PATH] \
+[--fleet-out PATH] [--check BENCH]"
     );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
     std::process::exit(2);
@@ -57,6 +59,10 @@ fn main() {
             "--campaign-out",
             "--cell",
             "--check",
+            "--sessions",
+            "--measurements",
+            "--campaign",
+            "--fleet-out",
         ],
     );
     let flag = |name: &str| values.iter().find(|(f, _)| *f == name).map(|&(_, v)| v);
@@ -103,6 +109,24 @@ fn main() {
             Err(_) => usage(),
         });
         campaign::campaign_run(path, flag("--campaign-out"), cell, flag("--check"));
+        return;
+    }
+    if names[0] == "fleet" {
+        let sessions = flag("--sessions").map(|v| match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => usage(),
+        });
+        let measurements = flag("--measurements").map(|v| match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => usage(),
+        });
+        fleet::fleet_run(
+            sessions,
+            measurements,
+            flag("--campaign"),
+            flag("--fleet-out"),
+            flag("--check"),
+        );
         return;
     }
 

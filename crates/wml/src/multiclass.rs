@@ -254,11 +254,11 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(9);
             MulticlassSvm::train(&ds, &SvmParams::default(), &mut rng)
         };
-        std::env::set_var("WIMI_THREADS", "1");
+        crate::par::set_thread_override(Some(1));
         let serial = train();
-        std::env::set_var("WIMI_THREADS", "4");
+        crate::par::set_thread_override(Some(4));
         let parallel = train();
-        std::env::remove_var("WIMI_THREADS");
+        crate::par::set_thread_override(None);
         assert_eq!(serial.n_classes, parallel.n_classes);
         assert_eq!(serial.machines, parallel.machines);
         assert!(serial

@@ -10,20 +10,33 @@
 //! # Thread count
 //!
 //! The worker count comes from the `WIMI_THREADS` environment variable
-//! when set (minimum 1), otherwise from
-//! [`std::thread::available_parallelism`]. Callers must not bake the
+//! when set to a parseable positive integer (`0` clamps to 1), otherwise
+//! from [`std::thread::available_parallelism`]. An unset *or unparseable*
+//! value (empty, garbage) falls through to the same default — it must
+//! never silently serialise the pipeline. Callers must not bake the
 //! thread count into results: every parallel site in the workspace derives
 //! its per-item randomness from per-item seeds, so output is bitwise
 //! identical for any `WIMI_THREADS` value.
+//!
+//! Both variables are read from the environment **once per process** (the
+//! service layer calls [`max_threads`] from long-lived workers, where a
+//! fresh `std::env::var` per request would be both overhead and a
+//! nondeterminism hazard under a mutable environment). In-process callers
+//! that need to vary the fan-out shape — benches, the thread-invariance
+//! tests — use [`set_thread_override`]/[`set_chunk_override`] instead of
+//! mutating the environment; the CI determinism jobs keep working
+//! unchanged because they run `WIMI_THREADS=1` and `=4` as separate
+//! processes.
 //!
 //! # Chunking
 //!
 //! Workers claim *chunks* of consecutive indices rather than single items,
 //! so cheap items don't pay one atomic claim (and its cache-line bounce)
 //! each. The chunk size comes from the `WIMI_CHUNK` environment variable
-//! when set (minimum 1), otherwise from [`default_chunk`], which leaves a
-//! few claims per worker for load balancing. Chunking only changes how
-//! indices are handed out — outputs are identical for any chunk size.
+//! when set to a parseable positive integer (`0` clamps to 1), otherwise
+//! from [`default_chunk`], which leaves a few claims per worker for load
+//! balancing. Chunking only changes how indices are handed out — outputs
+//! are identical for any chunk size.
 //!
 //! # Panics
 //!
@@ -31,13 +44,62 @@
 //! workers first), so `map` behaves like the equivalent serial loop.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// The configured maximum worker count: `WIMI_THREADS` if set and ≥ 1,
-/// else [`std::thread::available_parallelism`].
+/// Parses one fan-out environment value. `None` — unset, empty, or
+/// unparseable — means "use the documented default"; a parsed `0` clamps
+/// to 1. Surrounding whitespace is ignored.
+///
+/// (An earlier revision collapsed unparseable values to `1` via
+/// `unwrap_or(1)`, silently serialising the whole pipeline on a typo like
+/// `WIMI_THREADS=abc`; the regression tests below pin the fall-through.)
+fn parse_fanout_env(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// `WIMI_THREADS`/`WIMI_CHUNK` as read once at first use.
+static THREADS_ENV: OnceLock<Option<usize>> = OnceLock::new();
+static CHUNK_ENV: OnceLock<Option<usize>> = OnceLock::new();
+
+/// In-process overrides (0 = none). These exist so benches and the
+/// thread-invariance tests can vary the fan-out shape without mutating
+/// the (now cached) environment.
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static CHUNK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn threads_env() -> Option<usize> {
+    *THREADS_ENV.get_or_init(|| parse_fanout_env(std::env::var("WIMI_THREADS").ok().as_deref()))
+}
+
+fn chunk_env() -> Option<usize> {
+    *CHUNK_ENV.get_or_init(|| parse_fanout_env(std::env::var("WIMI_CHUNK").ok().as_deref()))
+}
+
+/// Forces the worker count for this process, taking precedence over the
+/// cached `WIMI_THREADS` value; `None` restores environment/default
+/// behaviour. Outputs are thread-count invariant by contract, so this is
+/// a shape control (for benches and invariance tests), never a results
+/// control.
+pub fn set_thread_override(n: Option<usize>) {
+    THREADS_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// Forces the fan-out chunk size for this process, taking precedence over
+/// the cached `WIMI_CHUNK` value; `None` restores environment/default
+/// behaviour.
+pub fn set_chunk_override(n: Option<usize>) {
+    CHUNK_OVERRIDE.store(n.map_or(0, |n| n.max(1)), Ordering::Relaxed);
+}
+
+/// The configured maximum worker count: the in-process override if set,
+/// else `WIMI_THREADS` if parseable (≥ 1), else
+/// [`std::thread::available_parallelism`].
 pub fn max_threads() -> usize {
-    match std::env::var("WIMI_THREADS") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    match THREADS_OVERRIDE.load(Ordering::Relaxed) {
+        0 => threads_env()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        n => n,
     }
 }
 
@@ -48,12 +110,13 @@ pub fn default_chunk(n: usize, workers: usize) -> usize {
     (n / (workers.max(1) * 4)).max(1)
 }
 
-/// The configured chunk size for `n` items over `workers` workers:
-/// `WIMI_CHUNK` if set and ≥ 1, else [`default_chunk`].
+/// The configured chunk size for `n` items over `workers` workers: the
+/// in-process override if set, else `WIMI_CHUNK` if parseable (≥ 1), else
+/// [`default_chunk`].
 fn chunk_size(n: usize, workers: usize) -> usize {
-    match std::env::var("WIMI_CHUNK") {
-        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => default_chunk(n, workers),
+    match CHUNK_OVERRIDE.load(Ordering::Relaxed) {
+        0 => chunk_env().unwrap_or_else(|| default_chunk(n, workers)),
+        c => c,
     }
 }
 
@@ -231,15 +294,55 @@ mod tests {
     }
 
     #[test]
-    fn chunk_env_override_reaches_map() {
-        // WIMI_CHUNK=1 forces one claim per item through the public `map`
-        // entry point. Outputs are chunk-invariant by contract, so even if
-        // another test observes the variable mid-flight nothing changes.
-        std::env::set_var("WIMI_CHUNK", "1");
+    fn chunk_override_reaches_map() {
+        // A chunk override of 1 forces one claim per item through the
+        // public `map` entry point. Outputs are chunk-invariant by
+        // contract, so even if another test observes the override
+        // mid-flight nothing changes.
+        set_chunk_override(Some(1));
         let items: Vec<usize> = (0..37).collect();
         let out = map(&items, |_, &x| x * 2);
-        std::env::remove_var("WIMI_CHUNK");
+        set_chunk_override(None);
         assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_override_reaches_map() {
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        let items: Vec<usize> = (0..37).collect();
+        let out = map(&items, |_, &x| x + 7);
+        set_thread_override(None);
+        assert_eq!(out, (7..44).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn override_zero_clamps_to_one() {
+        set_thread_override(Some(0));
+        assert_eq!(max_threads(), 1);
+        set_thread_override(None);
+    }
+
+    #[test]
+    fn invalid_fanout_env_falls_through_to_default() {
+        // Regression: unparseable values used to collapse to 1 via
+        // `unwrap_or(1)`, silently serialising the pipeline. They must
+        // fall through to the documented default instead.
+        assert_eq!(parse_fanout_env(Some("abc")), None);
+        assert_eq!(parse_fanout_env(Some("")), None);
+        assert_eq!(parse_fanout_env(Some("   ")), None);
+        assert_eq!(parse_fanout_env(Some("4x")), None);
+        assert_eq!(parse_fanout_env(Some("-2")), None);
+        assert_eq!(parse_fanout_env(None), None);
+    }
+
+    #[test]
+    fn valid_fanout_env_parses_and_zero_clamps() {
+        assert_eq!(parse_fanout_env(Some("4")), Some(4));
+        assert_eq!(parse_fanout_env(Some(" 8 ")), Some(8));
+        assert_eq!(parse_fanout_env(Some("\t2\n")), Some(2));
+        // `0` still clamps to 1 rather than disabling the pool.
+        assert_eq!(parse_fanout_env(Some("0")), Some(1));
     }
 
     #[test]

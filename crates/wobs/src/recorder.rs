@@ -96,11 +96,25 @@ pub enum CounterId {
     TrialsDropped,
     /// Binary SVM machines trained (one-vs-one pairs).
     SvmMachinesTrained,
+    /// Measurement requests submitted to the serve engine.
+    ServeRequests,
+    /// Requests shed at a full bounded queue (load shedding).
+    ServeShed,
+    /// Classification batch calls issued by the serve engine.
+    ServeBatches,
+    /// Requests classified through a batch call.
+    ServeBatched,
+    /// Serve model-cache lookups that found a trained model.
+    ModelCacheHits,
+    /// Serve model-cache lookups that had to train (single-flight).
+    ModelCacheMisses,
+    /// Peak bounded-queue depth observed across the run.
+    ServeQueuePeak,
 }
 
 impl CounterId {
     /// All counters in canonical (snapshot) order.
-    pub const ALL: [CounterId; 18] = [
+    pub const ALL: [CounterId; 25] = [
         CounterId::CapturesTaken,
         CounterId::PacketsSimulated,
         CounterId::PacketsKept,
@@ -119,6 +133,13 @@ impl CounterId {
         CounterId::Retries,
         CounterId::TrialsDropped,
         CounterId::SvmMachinesTrained,
+        CounterId::ServeRequests,
+        CounterId::ServeShed,
+        CounterId::ServeBatches,
+        CounterId::ServeBatched,
+        CounterId::ModelCacheHits,
+        CounterId::ModelCacheMisses,
+        CounterId::ServeQueuePeak,
     ];
 
     /// Stable snake_case name used in snapshots.
@@ -142,6 +163,13 @@ impl CounterId {
             CounterId::Retries => "retries",
             CounterId::TrialsDropped => "trials_dropped",
             CounterId::SvmMachinesTrained => "svm_machines_trained",
+            CounterId::ServeRequests => "serve_requests",
+            CounterId::ServeShed => "serve_shed",
+            CounterId::ServeBatches => "serve_batches",
+            CounterId::ServeBatched => "serve_batched",
+            CounterId::ModelCacheHits => "model_cache_hits",
+            CounterId::ModelCacheMisses => "model_cache_misses",
+            CounterId::ServeQueuePeak => "serve_queue_peak",
         }
     }
 }
@@ -215,7 +243,7 @@ pub struct Recorder {
     clock: Arc<dyn Clock>,
     stage_calls: [AtomicU64; 7],
     stage_ns: [AtomicU64; 7],
-    counters: [AtomicU64; 18],
+    counters: [AtomicU64; 25],
     issues: [AtomicU64; 7],
     gamma: [AtomicU64; 9],
     dispersion: [AtomicU64; 6],

@@ -1,0 +1,185 @@
+//! Shared trained-model cache with single-flight training.
+//!
+//! Models are keyed by `(catalog, scenario class)`: the material names a
+//! link discriminates between, its deployment environment, and its
+//! capture length. Concurrent requests for the same key train **once** —
+//! the first arrival initialises a per-key [`OnceLock`] while later
+//! arrivals block on it — so the cache reports exactly one miss per key
+//! ever, and hit/miss counts are a pure function of the request stream,
+//! never of thread scheduling.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use wimi_campaign::derive_cell_seed;
+use wimi_core::WiMi;
+use wimi_obs::{CounterId, Recorder};
+
+/// The identity of one trained model: which materials it separates and
+/// under what scenario class it was (and must be) trained.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// Material catalog names, in label order.
+    pub catalog: Vec<String>,
+    /// Environment name (`Environment::name()`), the scenario class.
+    pub environment: String,
+    /// Packets per capture the model was trained at.
+    pub packets: usize,
+}
+
+impl ModelKey {
+    /// The model's training seed: a pure function of the key and the
+    /// fleet's training root, so whichever session triggers training, the
+    /// resulting model is identical. Key text is folded through FNV-1a
+    /// and mixed with the root through the same SplitMix64 finisher the
+    /// campaign grid uses for cell seeds.
+    pub fn train_seed(&self, root: u64) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for name in &self.catalog {
+            eat(name.as_bytes());
+            eat(b"+");
+        }
+        eat(self.environment.as_bytes());
+        eat(&(self.packets as u64).to_le_bytes());
+        derive_cell_seed(root, h)
+    }
+}
+
+/// Single-flight trained-model cache.
+pub struct ModelCache {
+    cells: Mutex<BTreeMap<ModelKey, Arc<OnceLock<Arc<WiMi>>>>>,
+}
+
+impl Default for ModelCache {
+    fn default() -> Self {
+        ModelCache::new()
+    }
+}
+
+impl ModelCache {
+    /// An empty cache.
+    pub fn new() -> ModelCache {
+        ModelCache {
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Number of keys with a (possibly in-flight) model.
+    pub fn len(&self) -> usize {
+        match self.cells.lock() {
+            Ok(map) => map.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// `true` when no key has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the model for `key`, training it via `train` if this is
+    /// the first request. Concurrent callers for the same key block until
+    /// the single training finishes and then share the same `Arc`. The
+    /// map lock is held only to find/insert the per-key cell, never
+    /// across training, so training different keys proceeds in parallel.
+    ///
+    /// Records one `model_cache_misses` for the call that trained and one
+    /// `model_cache_hits` for every other call.
+    pub fn get_or_train<F>(&self, key: &ModelKey, rec: Option<&Recorder>, train: F) -> Arc<WiMi>
+    where
+        F: FnOnce() -> WiMi,
+    {
+        let cell = {
+            let mut map = match self.cells.lock() {
+                Ok(map) => map,
+                // A poisoned map means a trainer panicked while *not*
+                // holding this lock (it is never held across training);
+                // the map itself is intact, so continue with it.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            Arc::clone(map.entry(key.clone()).or_default())
+        };
+        let mut trained_here = false;
+        let model = cell.get_or_init(|| {
+            trained_here = true;
+            Arc::new(train())
+        });
+        if let Some(rec) = rec {
+            rec.incr(if trained_here {
+                CounterId::ModelCacheMisses
+            } else {
+                CounterId::ModelCacheHits
+            });
+        }
+        Arc::clone(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use wimi_core::WiMiConfig;
+
+    fn key(env: &str) -> ModelKey {
+        ModelKey {
+            catalog: vec!["Milk".into(), "PureWater".into()],
+            environment: env.into(),
+            packets: 10,
+        }
+    }
+
+    #[test]
+    fn train_seed_is_stable_and_key_sensitive() {
+        let root = 0xF1EE7;
+        assert_eq!(key("Lab").train_seed(root), key("Lab").train_seed(root));
+        assert_ne!(key("Lab").train_seed(root), key("Hall").train_seed(root));
+        assert_ne!(key("Lab").train_seed(root), key("Lab").train_seed(root ^ 1));
+        let mut longer = key("Lab");
+        longer.packets = 20;
+        assert_ne!(key("Lab").train_seed(root), longer.train_seed(root));
+    }
+
+    #[test]
+    fn single_flight_trains_once_per_key() {
+        let cache = ModelCache::new();
+        let rec = Recorder::enabled();
+        let trainings = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let model = cache.get_or_train(&key("Lab"), Some(&rec), || {
+                        trainings.fetch_add(1, Ordering::Relaxed);
+                        WiMi::new(WiMiConfig::default())
+                    });
+                    assert!(!model.is_trained()); // untrained stub model
+                });
+            }
+        });
+        assert_eq!(trainings.load(Ordering::Relaxed), 1, "single-flight");
+        assert_eq!(cache.len(), 1);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("model_cache_misses"), Some(1));
+        assert_eq!(snap.counter("model_cache_hits"), Some(7));
+    }
+
+    #[test]
+    fn distinct_keys_train_independently() {
+        let cache = ModelCache::new();
+        let trainings = AtomicUsize::new(0);
+        for env in ["Lab", "Hall", "Lab", "Library", "Hall"] {
+            cache.get_or_train(&key(env), None, || {
+                trainings.fetch_add(1, Ordering::Relaxed);
+                WiMi::new(WiMiConfig::default())
+            });
+        }
+        assert_eq!(trainings.load(Ordering::Relaxed), 3);
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -1,0 +1,362 @@
+//! Deterministic synthetic-fleet driver: N sessions × M measurements
+//! through one [`Engine`], either from a [`FleetConfig`] grid or from a
+//! parsed `.campaign` file.
+//!
+//! This is the headline serve benchmark: the driver submits one request
+//! per session per tick (session order) and drains between ticks, so the
+//! whole run — which requests shed, which keys train, every counter —
+//! is a pure function of the configuration. The resulting
+//! [`FleetReport`] renders to the byte-stable `wimi-serve/1` summary and
+//! must be identical under any `WIMI_THREADS`/`WIMI_CHUNK` shape.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use wimi_campaign::{derive_cell_seed, expand, fault_plan, lower, state_at, Campaign};
+use wimi_obs::{CounterId, Recorder};
+use wimi_phy::channel::Environment;
+use wimi_phy::material::LIQUIDS;
+use wimi_phy::scenario::LiquidSpec;
+
+use crate::engine::{Engine, ServeConfig, ServeResponse};
+use crate::retry::RetryPolicy;
+use crate::session::{MeasureRequest, Session, SessionSpec};
+
+/// Shape of a synthetic fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of sessions (links) in the fleet.
+    pub sessions: usize,
+    /// Measurements requested per session.
+    pub measurements: u64,
+    /// Fleet root seed; session `i` gets `derive_cell_seed(seed, i)`.
+    pub seed: u64,
+    /// Packets per capture on every session.
+    pub packets: usize,
+    /// Catalog size: the first `catalog_size` paper liquids.
+    pub catalog_size: usize,
+    /// Environments assigned round-robin across sessions (so a fleet
+    /// with more than one exercises more than one model key).
+    pub environments: Vec<Environment>,
+    /// Retry policy shared by every session.
+    pub retry: RetryPolicy,
+    /// Whether sessions carry per-session trace sinks.
+    pub trace: bool,
+    /// Engine shape (shards, queue bound, batching, training).
+    pub serve: ServeConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            sessions: 12,
+            measurements: 5,
+            seed: 0xF1EE7,
+            packets: 10,
+            catalog_size: 3,
+            environments: vec![Environment::Lab, Environment::EmptyHall],
+            retry: RetryPolicy::default(),
+            trace: false,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// Per-session tallies folded from the response stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStat {
+    /// Session id.
+    pub id: u64,
+    /// Ground-truth label.
+    pub truth: usize,
+    /// Responses with a predicted label.
+    pub ok: u64,
+    /// Responses without one (retries exhausted or key untrainable).
+    pub failed: u64,
+    /// Requests shed before reaching this session's shard.
+    pub shed: u64,
+    /// Correct predictions among `ok`.
+    pub correct: u64,
+    /// Attempts rejected across all measurements.
+    pub rejected: u64,
+    /// Measurements that needed salvage.
+    pub salvaged: u64,
+    /// Packets actually spent across all measurements.
+    pub packets_spent: u64,
+}
+
+/// Everything a fleet run produced, ready for summary rendering.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Number of sessions driven.
+    pub sessions: usize,
+    /// Measurements requested per session.
+    pub measurements: u64,
+    /// Fleet root seed.
+    pub seed: u64,
+    /// Requests submitted (sessions × measurements).
+    pub requests: u64,
+    /// Responses produced (requests − shed).
+    pub responses: u64,
+    /// Responses with a predicted label.
+    pub ok: u64,
+    /// Responses without one.
+    pub failed: u64,
+    /// Requests shed at the queue bound.
+    pub shed: u64,
+    /// Correct predictions among `ok`.
+    pub correct: u64,
+    /// Distinct model keys trained.
+    pub model_keys: usize,
+    /// Highest single-shard queue depth observed.
+    pub queue_peak: usize,
+    /// Per-session tallies, session order.
+    pub per_session: Vec<SessionStat>,
+    /// Fleet-wide counters (engine + every session, summed), canonical
+    /// [`CounterId::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// Builds the synthetic fleet's sessions and its material catalog.
+fn build_sessions(cfg: &FleetConfig) -> (Vec<Session>, Vec<(String, LiquidSpec)>) {
+    let n = cfg.catalog_size.clamp(2, LIQUIDS.len());
+    let catalog: Vec<(String, LiquidSpec)> = LIQUIDS[..n]
+        .iter()
+        .map(|&l| (l.name().to_owned(), l.into()))
+        .collect();
+    let names: Vec<String> = catalog.iter().map(|(name, _)| name.clone()).collect();
+    let environments = if cfg.environments.is_empty() {
+        vec![Environment::Lab]
+    } else {
+        cfg.environments.clone()
+    };
+    let sessions = (0..cfg.sessions)
+        .map(|i| {
+            let truth = i % names.len();
+            Session::new(SessionSpec {
+                id: i as u64,
+                seed: derive_cell_seed(cfg.seed, i as u64),
+                truth,
+                catalog: names.clone(),
+                spec: catalog[truth].1.clone(),
+                environment: environments[i % environments.len()],
+                packets: cfg.packets,
+                retry: cfg.retry.clone(),
+                fault: None,
+                config: cfg.serve.config.clone(),
+                trace: cfg.trace,
+            })
+        })
+        .collect();
+    (sessions, catalog)
+}
+
+/// Folds one drain's responses into the running stats.
+fn fold(responses: &[ServeResponse], stats: &mut [SessionStat]) -> (u64, u64, u64) {
+    let (mut ok, mut failed, mut correct) = (0u64, 0u64, 0u64);
+    for r in responses {
+        let Some(stat) = stats.get_mut(r.session as usize) else {
+            continue;
+        };
+        stat.rejected += r.rejected as u64;
+        stat.packets_spent += r.packets_spent as u64;
+        if r.salvaged {
+            stat.salvaged += 1;
+        }
+        match r.label {
+            Some(label) => {
+                stat.ok += 1;
+                ok += 1;
+                if label == r.truth {
+                    stat.correct += 1;
+                    correct += 1;
+                }
+            }
+            None => {
+                stat.failed += 1;
+                failed += 1;
+            }
+        }
+    }
+    (ok, failed, correct)
+}
+
+/// Runs a fleet over an already-built engine. `measurements` requests per
+/// session are submitted one per tick in session order, draining between
+/// ticks.
+fn drive(mut engine: Engine, measurements: u64, seed: u64) -> FleetReport {
+    let mut stats: Vec<SessionStat> = engine
+        .sessions()
+        .iter()
+        .map(|s| SessionStat {
+            id: s.id,
+            truth: s.truth,
+            ..SessionStat::default()
+        })
+        .collect();
+    let session_count = stats.len();
+    let (mut requests, mut ok, mut failed, mut correct) = (0u64, 0u64, 0u64, 0u64);
+    for seq in 0..measurements {
+        for (session, stat) in stats.iter_mut().enumerate() {
+            requests += 1;
+            if engine.submit(&[MeasureRequest { session, seq }]) == 0 {
+                stat.shed += 1;
+            }
+        }
+        let responses = engine.drain();
+        let (o, f, c) = fold(&responses, &mut stats);
+        ok += o;
+        failed += f;
+        correct += c;
+    }
+    // Queue peak is monotone across the run; record it once so the
+    // snapshot carries it.
+    engine
+        .recorder()
+        .add(CounterId::ServeQueuePeak, engine.queue_peak() as u64);
+
+    // Fleet-wide counters: the engine's (serve/cache/training) plus every
+    // per-session recorder, summed in canonical order.
+    let mut counters: Vec<(&'static str, u64)> = engine.recorder().snapshot().counters;
+    for session in engine.sessions() {
+        let snap = session.recorder.snapshot();
+        for (slot, &(_, v)) in counters.iter_mut().zip(snap.counters.iter()) {
+            slot.1 += v;
+        }
+    }
+
+    let shed: u64 = stats.iter().map(|s| s.shed).sum();
+    FleetReport {
+        sessions: session_count,
+        measurements,
+        seed,
+        requests,
+        responses: ok + failed,
+        ok,
+        failed,
+        shed,
+        correct,
+        model_keys: engine.cache().len(),
+        queue_peak: engine.queue_peak(),
+        per_session: stats,
+        counters,
+    }
+}
+
+/// Runs the synthetic fleet described by `cfg` and reports totals.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    let (sessions, catalog) = build_sessions(cfg);
+    let engine = Engine::new(
+        cfg.serve.clone(),
+        sessions,
+        catalog,
+        Arc::new(Recorder::enabled()),
+    );
+    drive(engine, cfg.measurements, cfg.seed)
+}
+
+/// Runs a fleet where each campaign grid cell becomes one session: the
+/// cell's seed, materials, environment, packets and (initial-segment)
+/// fault plan carry over, and the cell's ground truth cycles through its
+/// material set by cell index. The engine's training catalog is the union
+/// of all cells' materials. Scheduled condition *changes* are a per-trial
+/// concept that doesn't map onto long-lived links, so only each cell's
+/// first segment state is used.
+pub fn run_campaign_fleet(campaign: &Campaign, cfg: &FleetConfig) -> FleetReport {
+    let cells = expand(campaign);
+    let mut union: BTreeMap<String, LiquidSpec> = BTreeMap::new();
+    let mut sessions = Vec::with_capacity(cells.len());
+    for cell in &cells {
+        let refs = cell.materials.resolve();
+        if refs.is_empty() {
+            continue;
+        }
+        let names: Vec<String> = refs.iter().map(|r| r.label()).collect();
+        for (name, r) in names.iter().zip(refs.iter()) {
+            union.entry(name.clone()).or_insert_with(|| r.spec());
+        }
+        let truth = (cell.index as usize) % refs.len();
+        let steps = lower(campaign, cell);
+        let fault = fault_plan(state_at(&steps, 0), campaign.fault_seed);
+        sessions.push(Session::new(SessionSpec {
+            id: cell.index,
+            seed: cell.seed,
+            truth,
+            catalog: names,
+            spec: refs[truth].spec(),
+            environment: cell.environment,
+            packets: cell.packets,
+            retry: cfg.retry.clone(),
+            fault,
+            config: cfg.serve.config.clone(),
+            trace: cfg.trace,
+        }));
+    }
+    let engine = Engine::new(
+        cfg.serve.clone(),
+        sessions,
+        union.into_iter().collect(),
+        Arc::new(Recorder::enabled()),
+    );
+    drive(engine, cfg.measurements, campaign.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FleetConfig {
+        FleetConfig {
+            sessions: 6,
+            measurements: 2,
+            packets: 8,
+            serve: ServeConfig {
+                shards: 3,
+                train_per_class: 2,
+                ..ServeConfig::default()
+            },
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_accounting_is_conserved() {
+        let report = run_fleet(&tiny());
+        assert_eq!(report.requests, 12);
+        assert_eq!(report.responses + report.shed, report.requests);
+        assert_eq!(report.ok + report.failed, report.responses);
+        assert!(report.correct <= report.ok);
+        assert_eq!(report.per_session.len(), 6);
+        // Two environments round-robin over one catalog → two model keys.
+        assert_eq!(report.model_keys, 2);
+        let per: u64 = report.per_session.iter().map(|s| s.ok + s.failed).sum();
+        assert_eq!(per, report.responses);
+    }
+
+    #[test]
+    fn fleet_runs_are_reproducible() {
+        let a = run_fleet(&tiny());
+        let b = run_fleet(&tiny());
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.per_session, b.per_session);
+        assert_eq!(a.correct, b.correct);
+    }
+
+    #[test]
+    fn campaign_cells_become_sessions() {
+        let campaign = wimi_campaign::parse(
+            "campaign serve\nseed 7\naxis materials = Milk+PureWater\naxis environment = lab, hall\naxis packets = 8\n",
+        )
+        .unwrap_or_else(|e| panic!("campaign must parse: {e:?}"));
+        let report = run_campaign_fleet(
+            &campaign,
+            &FleetConfig {
+                measurements: 2,
+                ..tiny()
+            },
+        );
+        assert_eq!(report.sessions, wimi_campaign::cell_count(&campaign));
+        assert_eq!(report.seed, 7);
+        assert_eq!(report.requests, report.sessions as u64 * 2);
+    }
+}

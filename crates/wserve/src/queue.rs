@@ -1,0 +1,141 @@
+//! Bounded per-shard request queues with explicit load shedding.
+//!
+//! Backpressure semantics: a submit that would push a shard past its
+//! bound is *shed* — counted and dropped, never blocked on. Shedding is
+//! deterministic because submission order is deterministic (the fleet
+//! driver submits in session order) and shard assignment is a pure
+//! function of the session id, so which requests shed depends only on the
+//! request stream, never on worker timing.
+
+use std::collections::VecDeque;
+
+use crate::session::MeasureRequest;
+
+/// Fixed set of bounded FIFO queues, one per shard.
+#[derive(Debug)]
+pub struct BoundedQueues {
+    bound: usize,
+    shards: Vec<VecDeque<MeasureRequest>>,
+    peak: usize,
+    shed: u64,
+}
+
+impl BoundedQueues {
+    /// `shards` queues (at least one), each bounded to `bound` entries
+    /// (at least one — a zero bound would shed everything and make the
+    /// service vacuous).
+    pub fn new(shards: usize, bound: usize) -> BoundedQueues {
+        BoundedQueues {
+            bound: bound.max(1),
+            shards: (0..shards.max(1)).map(|_| VecDeque::new()).collect(),
+            peak: 0,
+            shed: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a session's requests route to.
+    pub fn shard_of(&self, session_id: u64) -> usize {
+        (session_id % self.shards.len() as u64) as usize
+    }
+
+    /// Enqueues onto `shard`; returns `false` (shed) at the bound.
+    pub fn push(&mut self, shard: usize, req: MeasureRequest) -> bool {
+        let shard = shard % self.shards.len();
+        if self.shards[shard].len() >= self.bound {
+            self.shed += 1;
+            return false;
+        }
+        self.shards[shard].push_back(req);
+        self.peak = self.peak.max(self.shards[shard].len());
+        true
+    }
+
+    /// Takes every queued request, emptying the queues: one FIFO `Vec`
+    /// per shard, shard order.
+    pub fn take(&mut self) -> Vec<Vec<MeasureRequest>> {
+        self.shards
+            .iter_mut()
+            .map(|q| q.drain(..).collect())
+            .collect()
+    }
+
+    /// Requests currently queued across all shards.
+    pub fn depth(&self) -> usize {
+        self.shards.iter().map(VecDeque::len).sum()
+    }
+
+    /// Highest single-shard depth ever observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Requests shed at the bound since construction.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(session: usize, seq: u64) -> MeasureRequest {
+        MeasureRequest { session, seq }
+    }
+
+    #[test]
+    fn sheds_at_the_bound_and_keeps_counting() {
+        let mut q = BoundedQueues::new(1, 2);
+        assert!(q.push(0, req(0, 0)));
+        assert!(q.push(0, req(1, 0)));
+        assert!(!q.push(0, req(2, 0)), "third push must shed");
+        assert!(!q.push(0, req(3, 0)));
+        assert_eq!(q.shed(), 2);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.peak(), 2);
+        // Draining frees capacity; the shed count is cumulative.
+        let drained = q.take();
+        assert_eq!(drained[0].len(), 2);
+        assert_eq!(q.depth(), 0);
+        assert!(q.push(0, req(4, 0)));
+        assert_eq!(q.shed(), 2);
+    }
+
+    #[test]
+    fn take_preserves_fifo_order_per_shard() {
+        let mut q = BoundedQueues::new(2, 8);
+        for seq in 0..3 {
+            q.push(0, req(0, seq));
+            q.push(1, req(1, seq));
+        }
+        let drained = q.take();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(
+            drained[0],
+            vec![req(0, 0), req(0, 1), req(0, 2)],
+            "FIFO within shard"
+        );
+        assert_eq!(drained[1], vec![req(1, 0), req(1, 1), req(1, 2)]);
+    }
+
+    #[test]
+    fn degenerate_bounds_clamp_to_one() {
+        let mut q = BoundedQueues::new(0, 0);
+        assert_eq!(q.shard_count(), 1);
+        assert!(q.push(0, req(0, 0)));
+        assert!(!q.push(0, req(1, 0)), "bound clamps to 1, second sheds");
+    }
+
+    #[test]
+    fn shard_routing_is_modular() {
+        let q = BoundedQueues::new(4, 1);
+        assert_eq!(q.shard_of(0), 0);
+        assert_eq!(q.shard_of(5), 1);
+        assert_eq!(q.shard_of(11), 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Bounded retry policy for the re-seat-and-retry measurement protocol.
+//!
+//! This lived in the experiment harness until the serve layer needed it
+//! per session; the harness re-exports it, so existing call sites keep
+//! their paths.
+
+/// Bounded retry policy for the re-seat-and-retry measurement protocol.
+///
+/// Real measurement campaigns cannot retry forever: every attempt costs
+/// two captures' worth of air time. The policy caps attempts two ways —
+/// a hard attempt count and a total packet budget — and an attempt is
+/// allowed while both bounds hold (never below one attempt).
+///
+/// The budget is charged per *actual* packets spent: when triage or
+/// salvage dropped packets, the attempt cost less air time than the
+/// nominal `2 × packets_per_capture`, and the saved budget stays
+/// available for further attempts. (An earlier revision charged every
+/// attempt at nominal cost, denying retries whose real cost still fit;
+/// see [`RetryPolicy::allows_another`].)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Hard cap on measurement attempts per trial.
+    pub max_attempts: usize,
+    /// Total packets (baseline + target captures both count) one trial
+    /// may spend across all its attempts.
+    pub packet_budget: usize,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts under a 400-packet budget: identical to the old
+    /// hard-coded 4-attempt loop for the paper's 20-packet captures
+    /// (4 × 2 × 20 = 160 ≤ 400), but a 60-packet capture now stops after
+    /// three attempts instead of wasting a fourth.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            packet_budget: 400,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy bounded only by attempt count (no packet budget).
+    pub fn attempts(n: usize) -> Self {
+        RetryPolicy {
+            max_attempts: n,
+            packet_budget: usize::MAX,
+        }
+    }
+
+    /// The *planned* attempt cap for a given capture length, assuming
+    /// every attempt costs its full nominal `2 × packets_per_capture`:
+    /// the tighter of the attempt cap and the packet budget, but always
+    /// at least one. This is what attempt-progress traces report as
+    /// `max`; the loop itself consults [`RetryPolicy::allows_another`]
+    /// with actual costs, which can only allow *more* attempts than
+    /// planned (actual ≤ nominal), never fewer.
+    pub fn allowed_attempts(&self, packets_per_capture: usize) -> usize {
+        let per_attempt = 2 * packets_per_capture.max(1);
+        let by_budget = self.packet_budget / per_attempt;
+        self.max_attempts.min(by_budget).max(1)
+    }
+
+    /// Whether another attempt may start, given how many ran and what
+    /// they actually cost. The first attempt is always allowed (a trial
+    /// gets at least one measurement no matter the budget); a further
+    /// attempt is allowed while the attempt cap holds *and* the budget
+    /// still covers one more nominal-cost attempt on top of the packets
+    /// actually spent so far.
+    ///
+    /// When every attempt costs exactly its nominal `2 × packets`, this
+    /// reproduces the [`RetryPolicy::allowed_attempts`] arithmetic bit
+    /// for bit. When screening dropped packets, `packets_spent` is lower
+    /// and attempts that the nominal accounting would have denied remain
+    /// available — the budget bounds air time actually used, not a
+    /// worst-case estimate of it.
+    pub fn allows_another(
+        &self,
+        attempts_made: usize,
+        packets_spent: usize,
+        packets_per_capture: usize,
+    ) -> bool {
+        if attempts_made == 0 {
+            return true;
+        }
+        if attempts_made >= self.max_attempts {
+            return false;
+        }
+        let next = 2 * packets_per_capture.max(1);
+        packets_spent.saturating_add(next) <= self.packet_budget
+    }
+}
+
+/// The capture seed of retry `attempt` (0-based) of the measurement
+/// seeded `seed`. Multiplying by an odd constant is a bijection on `u64`
+/// and the attempt offsets are pairwise distinct, so every attempt's
+/// capture — and therefore its reseeded fault stream — is distinct from
+/// every other attempt of the same measurement.
+pub fn attempt_capture_seed(seed: u64, attempt: usize) -> u64 {
+    seed.wrapping_mul(31).wrapping_add(attempt as u64 * 7919)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replays a retry loop where every attempt costs `kept` packets,
+    /// returning how many attempts run before the policy stops it.
+    fn attempts_at_cost(policy: &RetryPolicy, packets: usize, kept: usize) -> usize {
+        let mut attempts = 0;
+        let mut spent = 0usize;
+        while policy.allows_another(attempts, spent, packets) {
+            attempts += 1;
+            spent += kept;
+            if attempts > 1_000 {
+                break; // defensive: the cap bounds every real policy
+            }
+        }
+        attempts
+    }
+
+    #[test]
+    fn planned_attempts_boundary_cases_pin_old_behaviour() {
+        let p = RetryPolicy::default();
+        // Attempt cap binds for the paper's 20-packet captures.
+        assert_eq!(p.allowed_attempts(20), 4);
+        // 2 × 50 × 4 = 400: the budget exactly covers four attempts.
+        assert_eq!(p.allowed_attempts(50), 4);
+        // One more packet per capture and the budget trims an attempt.
+        assert_eq!(p.allowed_attempts(51), 3);
+        assert_eq!(p.allowed_attempts(100), 2);
+        assert_eq!(p.allowed_attempts(200), 1);
+        // Oversized captures and degenerate inputs still allow one try.
+        assert_eq!(p.allowed_attempts(1_000), 1);
+        assert_eq!(p.allowed_attempts(0), 4);
+        assert_eq!(RetryPolicy::attempts(3).allowed_attempts(10_000), 3);
+        let zero_budget = RetryPolicy {
+            max_attempts: 4,
+            packet_budget: 0,
+        };
+        assert_eq!(zero_budget.allowed_attempts(20), 1);
+    }
+
+    #[test]
+    fn actual_cost_loop_matches_planned_when_nothing_dropped() {
+        // Full-cost attempts must reproduce the nominal arithmetic
+        // exactly — the fix only changes salvage cases.
+        for packets in [1usize, 10, 20, 49, 50, 51, 99, 100, 101, 200, 500] {
+            for policy in [
+                RetryPolicy::default(),
+                RetryPolicy::attempts(3),
+                RetryPolicy {
+                    max_attempts: 7,
+                    packet_budget: 1_000,
+                },
+            ] {
+                assert_eq!(
+                    attempts_at_cost(&policy, packets, 2 * packets),
+                    policy.allowed_attempts(packets),
+                    "packets={packets} policy={policy:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_savings_fund_extra_attempts() {
+        // Nominal accounting: 2 × 30 = 60 per attempt, 100 / 60 → one
+        // attempt only. When screening drops half the packets the real
+        // cost is 30, so a second attempt fits the same budget.
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            packet_budget: 100,
+        };
+        assert_eq!(policy.allowed_attempts(30), 1);
+        assert!(policy.allows_another(1, 30, 30), "saved budget must carry");
+        // ...but the budget still binds once actual spend approaches it.
+        assert!(!policy.allows_another(2, 90, 30));
+        // And the attempt cap is a hard stop even at zero cost.
+        assert!(!policy.allows_another(4, 0, 30));
+        assert_eq!(attempts_at_cost(&policy, 30, 0), 4);
+    }
+
+    #[test]
+    fn first_attempt_is_always_allowed() {
+        let starved = RetryPolicy {
+            max_attempts: 1,
+            packet_budget: 0,
+        };
+        assert!(starved.allows_another(0, 0, 10_000));
+        assert!(!starved.allows_another(1, 0, 1));
+    }
+
+    #[test]
+    fn attempt_capture_seeds_are_pairwise_distinct() {
+        for seed in [0u64, 1, 0xACC0, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let seeds: Vec<u64> = (0..16).map(|a| attempt_capture_seed(seed, a)).collect();
+            let mut sorted = seeds.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), seeds.len(), "collision under seed {seed}");
+        }
+    }
+}

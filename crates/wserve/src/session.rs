@@ -1,0 +1,284 @@
+//! The [`Session`] abstraction: one long-lived measurement link.
+//!
+//! A session owns everything one deployed WiMi link needs: its scenario
+//! (environment, capture length, optional fault plan), its ground-truth
+//! material, a [`RetryPolicy`], and its *own* observability sinks — a
+//! per-session [`Recorder`] and optional [`TraceSink`]. Per-session sinks
+//! are what keep the fleet deterministic: a session's events never
+//! interleave with another session's regardless of which worker thread
+//! ran it.
+
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+use wimi_campaign::derive_cell_seed;
+use wimi_core::{MaterialFeature, WiMi, WiMiConfig};
+use wimi_obs::{CounterId, Recorder};
+use wimi_phy::channel::Environment;
+use wimi_phy::csi::{CsiCapture, CsiSource};
+use wimi_phy::fault::FaultPlan;
+use wimi_phy::scenario::{LiquidSpec, Scenario, Simulator};
+use wimi_phy::units::Meters;
+use wimi_trace::{task_scope, TaskKey, TraceEvent, TraceSink};
+
+use crate::retry::{attempt_capture_seed, RetryPolicy};
+
+/// One measurement request: the `seq`-th measurement on a session. The
+/// pair `(session, seq)` fully determines the measurement — its seed is a
+/// pure function of the session's seed and `seq` — so a request can be
+/// replayed, re-ordered, or shed without touching any other request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MeasureRequest {
+    /// Index of the session in the engine's session table.
+    pub session: usize,
+    /// Measurement sequence number within the session.
+    pub seq: u64,
+}
+
+/// What one measurement produced, before classification.
+#[derive(Debug, Clone)]
+pub struct MeasureOutcome {
+    /// The extracted feature, or `None` after retry exhaustion.
+    pub feature: Option<MaterialFeature>,
+    /// Attempts the pipeline rejected before success (or giving up).
+    pub rejected: usize,
+    /// Whether the successful measurement needed salvage.
+    pub salvaged: bool,
+    /// Packets actually spent across all attempts (baseline + target,
+    /// post-screening — the air time the retry budget charges).
+    pub packets_spent: usize,
+    /// Attempts taken (1 = first try succeeded).
+    pub attempts: usize,
+}
+
+/// One long-lived measurement link.
+pub struct Session {
+    /// Stable session id (also the trace task id, group `sess:`).
+    pub id: u64,
+    /// The session's root seed; measurement `seq` derives its seed as
+    /// `derive_cell_seed(seed, seq)`.
+    pub seed: u64,
+    /// Ground-truth label: index into `catalog`.
+    pub truth: usize,
+    /// Names of the material catalog this session discriminates between
+    /// (the model-cache key's catalog component).
+    pub catalog: Vec<String>,
+    /// Dielectric spec of the ground-truth material.
+    pub spec: LiquidSpec,
+    /// Deployment environment (the model-cache key's scenario class).
+    pub environment: Environment,
+    /// Packets per capture.
+    pub packets: usize,
+    /// Retry policy for this link.
+    pub retry: RetryPolicy,
+    /// Optional fault plan injected into every capture.
+    pub fault: Option<FaultPlan>,
+    /// Per-session observability recorder.
+    pub recorder: Arc<Recorder>,
+    /// Optional per-session trace sink.
+    pub trace: Option<Arc<TraceSink>>,
+    /// The session's feature extractor (recorder/trace already attached).
+    extractor: WiMi,
+}
+
+/// Everything needed to construct a [`Session`]; the extractor is built
+/// from it so the sinks attach exactly once.
+pub struct SessionSpec {
+    /// Stable session id.
+    pub id: u64,
+    /// Root seed.
+    pub seed: u64,
+    /// Ground-truth label index into `catalog`.
+    pub truth: usize,
+    /// Material catalog names.
+    pub catalog: Vec<String>,
+    /// Ground-truth dielectric spec.
+    pub spec: LiquidSpec,
+    /// Deployment environment.
+    pub environment: Environment,
+    /// Packets per capture.
+    pub packets: usize,
+    /// Retry policy.
+    pub retry: RetryPolicy,
+    /// Optional fault plan.
+    pub fault: Option<FaultPlan>,
+    /// Pipeline configuration for the session's extractor.
+    pub config: WiMiConfig,
+    /// Whether to attach a per-session trace sink.
+    pub trace: bool,
+}
+
+impl Session {
+    /// Builds a session with its own enabled recorder (deterministic
+    /// null-clock mode) and, when `spec.trace` is set, its own bounded
+    /// trace sink.
+    pub fn new(spec: SessionSpec) -> Session {
+        let recorder = Arc::new(Recorder::enabled());
+        let trace = spec.trace.then(TraceSink::enabled);
+        let mut extractor = WiMi::new(spec.config);
+        extractor.set_recorder(Some(Arc::clone(&recorder)));
+        extractor.set_trace(trace.clone());
+        Session {
+            id: spec.id,
+            seed: spec.seed,
+            truth: spec.truth,
+            catalog: spec.catalog,
+            spec: spec.spec,
+            environment: spec.environment,
+            packets: spec.packets,
+            retry: spec.retry,
+            fault: spec.fault,
+            recorder,
+            trace,
+            extractor,
+        }
+    }
+
+    /// The seed of measurement `seq` on this session.
+    pub fn measurement_seed(&self, seq: u64) -> u64 {
+        derive_cell_seed(self.seed, seq)
+    }
+
+    /// One baseline/target capture pair for retry `attempt` of the
+    /// measurement seeded `seed`, at the given placement offset.
+    fn capture_pair(&self, seed: u64, attempt: usize, offset_cm: f64) -> (CsiCapture, CsiCapture) {
+        let mut builder = Scenario::builder();
+        builder.environment(self.environment);
+        builder.target_offset(Meters::from_cm(offset_cm));
+        let capture_seed = attempt_capture_seed(seed, attempt);
+        let mut sim = Simulator::new(builder.build(), capture_seed);
+        if let Some(plan) = &self.fault {
+            sim.set_fault_plan(Some(plan.clone().with_seed(plan.seed() ^ capture_seed)));
+        }
+        sim.set_recorder(Some(Arc::clone(&self.recorder)));
+        sim.set_trace(self.trace.clone());
+        let baseline = sim.capture(self.packets);
+        sim.set_liquid(Some(self.spec.clone()));
+        let target = sim.capture(self.packets);
+        (baseline, target)
+    }
+
+    /// Runs measurement `seq` with the re-seat-and-retry protocol.
+    ///
+    /// The retry budget is charged per *actual* packets each attempt
+    /// spent (post-screening, from the quality report), so salvage
+    /// savings stay available for further attempts; the hard attempt cap
+    /// still bounds the loop. Everything — placement offsets, capture
+    /// seeds, fault streams — derives from the measurement seed, so the
+    /// outcome is a pure function of `(session, seq)` and is identical on
+    /// any worker thread.
+    pub fn measure(&self, seq: u64) -> MeasureOutcome {
+        let seed = self.measurement_seed(seq);
+        let mut placement = rand::rngs::StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let trace = self.trace.as_ref();
+        // All of this session's events land in one `sess:{id}` task, so
+        // rendered traces group by link, not by worker thread.
+        let _task = trace.map(|_| task_scope(TaskKey::session(self.id)));
+        let planned = self.retry.allowed_attempts(self.packets);
+        let mut out = MeasureOutcome {
+            feature: None,
+            rejected: 0,
+            salvaged: false,
+            packets_spent: 0,
+            attempts: 0,
+        };
+        while self
+            .retry
+            .allows_another(out.attempts, out.packets_spent, self.packets)
+        {
+            if let Some(t) = trace {
+                t.emit(TraceEvent::Attempt {
+                    attempt: out.attempts as u32 + 1,
+                    max: planned as u32,
+                });
+            }
+            let offset_cm = 1.0 + placement.gen_range(-0.5..0.5);
+            let (base, tar) = self.capture_pair(seed, out.attempts, offset_cm);
+            let m = self.extractor.measure(&base, &tar);
+            out.packets_spent += m.quality.baseline_packets_kept + m.quality.target_packets_kept;
+            out.attempts += 1;
+            match m.feature {
+                Ok(f) => {
+                    out.salvaged = m.quality.salvaged();
+                    out.feature = Some(f);
+                    self.recorder.add(CounterId::Retries, out.rejected as u64);
+                    self.recorder.record_attempts(out.attempts as u64);
+                    return out;
+                }
+                Err(_) => out.rejected += 1,
+            }
+        }
+        self.recorder
+            .add(CounterId::Retries, out.rejected.saturating_sub(1) as u64);
+        self.recorder.record_attempts(out.rejected as u64);
+        self.recorder.incr(CounterId::TrialsDropped);
+        if let Some(t) = trace {
+            t.emit(TraceEvent::RetriesExhausted {
+                attempts: out.attempts as u32,
+            });
+            t.mark_failure();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wimi_phy::material::Liquid;
+
+    fn test_session(id: u64, trace: bool) -> Session {
+        Session::new(SessionSpec {
+            id,
+            seed: derive_cell_seed(0xF1EE7, id),
+            truth: 0,
+            catalog: vec!["Milk".into(), "PureWater".into()],
+            spec: Liquid::Milk.into(),
+            environment: Environment::Lab,
+            packets: 8,
+            retry: RetryPolicy::default(),
+            fault: None,
+            config: WiMiConfig::default(),
+            trace,
+        })
+    }
+
+    #[test]
+    fn measurements_are_pure_functions_of_session_and_seq() {
+        let a = test_session(3, false);
+        let b = test_session(3, false);
+        let ma = a.measure(7);
+        let mb = b.measure(7);
+        assert_eq!(ma.feature.is_some(), mb.feature.is_some());
+        assert_eq!(
+            ma.feature.map(|f| f.as_vector()),
+            mb.feature.map(|f| f.as_vector())
+        );
+        assert_eq!(ma.packets_spent, mb.packets_spent);
+    }
+
+    #[test]
+    fn distinct_seqs_draw_distinct_measurements() {
+        let s = test_session(1, false);
+        assert_ne!(s.measurement_seed(0), s.measurement_seed(1));
+        let m0 = s.measure(0);
+        let m1 = s.measure(1);
+        let (Some(f0), Some(f1)) = (m0.feature, m1.feature) else {
+            // Clean-channel measurements at 8 packets always extract.
+            unreachable!("clean measurements must extract");
+        };
+        assert_ne!(f0.as_vector(), f1.as_vector());
+    }
+
+    #[test]
+    fn session_trace_events_group_under_session_task() {
+        let s = test_session(5, true);
+        let _ = s.measure(0);
+        let Some(sink) = &s.trace else {
+            unreachable!("trace was requested");
+        };
+        let log = sink.flush();
+        assert!(log.events_emitted > 0);
+        assert!(log.tasks.iter().any(|t| t.key == TaskKey::session(5)));
+    }
+}

@@ -38,6 +38,11 @@ impl TaskKey {
             id: (a << 32) | b,
         }
     }
+
+    /// The task for one `wimi-serve` session, keyed by its session id.
+    pub fn session(id: u64) -> TaskKey {
+        TaskKey { group: 3, id }
+    }
 }
 
 impl fmt::Display for TaskKey {
@@ -46,6 +51,7 @@ impl fmt::Display for TaskKey {
             0 => write!(f, "run"),
             1 => write!(f, "meas:{}", self.id),
             2 => write!(f, "svm:{}x{}", self.id >> 32, self.id & 0xFFFF_FFFF),
+            3 => write!(f, "sess:{}", self.id),
             g => write!(f, "g{g}:{}", self.id),
         }
     }

@@ -5,4 +5,5 @@ pub use wimi_dsp as dsp;
 pub use wimi_ml as ml;
 pub use wimi_obs as obs;
 pub use wimi_phy as phy;
+pub use wimi_serve as serve;
 pub use wimi_trace as trace;

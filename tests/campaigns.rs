@@ -63,11 +63,11 @@ fn cell_artifacts_are_byte_identical_across_thread_counts_and_replay() {
                         at 1 dropout 0.5\n";
     let c = parse(GRID).expect("grid campaign parses");
 
-    std::env::set_var("WIMI_THREADS", "4");
+    wimi::core::par::set_thread_override(Some(4));
     let parallel = run_campaign(&c);
-    std::env::set_var("WIMI_THREADS", "1");
+    wimi::core::par::set_thread_override(Some(1));
     let serial = run_campaign(&c);
-    std::env::remove_var("WIMI_THREADS");
+    wimi::core::par::set_thread_override(None);
 
     assert_eq!(parallel.cells.len(), 4);
     for (a, b) in serial.cells.iter().zip(&parallel.cells) {

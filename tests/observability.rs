@@ -74,11 +74,11 @@ fn snapshot_json_is_thread_count_invariant() {
         let _ = run_identification(&materials, &opts);
         rec.snapshot().to_json()
     };
-    std::env::set_var("WIMI_THREADS", "1");
+    wimi::core::par::set_thread_override(Some(1));
     let t1 = run();
-    std::env::set_var("WIMI_THREADS", "4");
+    wimi::core::par::set_thread_override(Some(4));
     let t4 = run();
-    std::env::remove_var("WIMI_THREADS");
+    wimi::core::par::set_thread_override(None);
     assert_eq!(t1, t4, "snapshot must not depend on worker count");
     validate_json(&t1).expect("snapshot validates against wimi-obs/1");
 }

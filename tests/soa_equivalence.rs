@@ -91,9 +91,9 @@ proptest! {
     }
 }
 
-/// Serialises the env-twiddling fan-out tests: `WIMI_THREADS`/`WIMI_CHUNK`
-/// are process-global, and the test harness runs sibling tests on other
-/// threads.
+/// Serialises the shape-twiddling fan-out tests: the thread/chunk
+/// overrides are process-global, and the test harness runs sibling tests
+/// on other threads.
 static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// Runs one measurement under an explicit fan-out shape and returns its
@@ -103,14 +103,14 @@ fn measure_digest(
     wimi: &WiMi,
     base: &CsiCapture,
     tar: &CsiCapture,
-    threads: &str,
-    chunk: &str,
+    threads: usize,
+    chunk: usize,
 ) -> String {
-    std::env::set_var("WIMI_THREADS", threads);
-    std::env::set_var("WIMI_CHUNK", chunk);
+    wimi::core::par::set_thread_override(Some(threads));
+    wimi::core::par::set_chunk_override(Some(chunk));
     let m = wimi.measure(base, tar);
-    std::env::remove_var("WIMI_THREADS");
-    std::env::remove_var("WIMI_CHUNK");
+    wimi::core::par::set_thread_override(None);
+    wimi::core::par::set_chunk_override(None);
     format!("{m:?}")
 }
 
@@ -134,8 +134,8 @@ proptest! {
         let tar = plan.apply(&clean_tar, nonce);
 
         let wimi = WiMi::new(WiMiConfig::default());
-        let reference = measure_digest(&wimi, &base, &tar, "1", "1");
-        for (threads, chunk) in [("1", "7"), ("2", "1"), ("3", "2"), ("4", "3"), ("4", "64")] {
+        let reference = measure_digest(&wimi, &base, &tar, 1, 1);
+        for (threads, chunk) in [(1, 7), (2, 1), (3, 2), (4, 3), (4, 64)] {
             let digest = measure_digest(&wimi, &base, &tar, threads, chunk);
             prop_assert_eq!(&digest, &reference, "threads={} chunk={}", threads, chunk);
         }

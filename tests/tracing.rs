@@ -85,11 +85,11 @@ fn disabled_sink_adds_zero_events_on_the_hot_path() {
 
 #[test]
 fn rendered_traces_are_thread_count_invariant() {
-    std::env::set_var("WIMI_THREADS", "1");
+    wimi::core::par::set_thread_override(Some(1));
     let serial = render_artifact(&trace_campaign(Effort::quick())).expect("valid artifact");
-    std::env::set_var("WIMI_THREADS", "4");
+    wimi::core::par::set_thread_override(Some(4));
     let parallel = render_artifact(&trace_campaign(Effort::quick())).expect("valid artifact");
-    std::env::remove_var("WIMI_THREADS");
+    wimi::core::par::set_thread_override(None);
     assert_eq!(
         serial, parallel,
         "traces must be byte-identical under any WIMI_THREADS"
