@@ -1,9 +1,11 @@
-//! Writes `BENCH_PR9.json` at the repo root: the fleet-scale serving
+//! Writes `BENCH_PR10.json` at the repo root: the fleet-scale serving
 //! benchmark. The workload is the default `wimi-serve` synthetic fleet
 //! (12 sessions × 5 measurements, two environments, shared model cache);
 //! the artifact records measurements/second under 1 and 4 worker threads
-//! plus the `fleet_budgets` section — the run's deterministic service
-//! totals, which `wimi-experiments fleet --check` gates CI against.
+//! plus two deterministic budget sections that `wimi-experiments fleet
+//! --check` gates CI against: `fleet_budgets` (the run's service totals)
+//! and `metrics_budgets` (windowed maxima of the tick-resolved
+//! `wimi-metrics/1` telemetry timeline).
 //!
 //! Run from the workspace root with
 //! `cargo run --release -p wimi-bench --bin fleet_bench`.
@@ -15,7 +17,7 @@
 //! and the speedup ratio are.
 
 use std::time::Instant;
-use wimi_experiments::fleet::check_fleet_budgets;
+use wimi_experiments::fleet::{check_fleet_budgets, check_metrics_budgets};
 use wimi_serve::{run_fleet, FleetConfig, FleetReport};
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
@@ -73,6 +75,24 @@ fn budget_entries(report: &FleetReport) -> Vec<(&'static str, u64)> {
     ]
 }
 
+/// The windowed telemetry maxima recorded as `metrics_budgets`: per-tick
+/// ceilings that CI gates the deterministic timeline against.
+fn metrics_budget_entries(report: &FleetReport) -> Vec<(&'static str, u64)> {
+    let max_of = |series: &str| -> u64 {
+        report
+            .timeline
+            .aggregate(series)
+            .map_or(0, |stats| stats.max)
+    };
+    vec![
+        ("queue_peak", max_of("queue_peak")),
+        ("shed", max_of("shed")),
+        ("retries_exhausted", max_of("retries_exhausted")),
+        ("packets_processed", max_of("packets_processed")),
+        ("cache_misses", max_of("cache_misses")),
+    ]
+}
+
 fn check(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let report = bench_fleet();
@@ -86,6 +106,19 @@ fn check(path: &str) -> Result<(), String> {
     if let Some(bad) = rows.iter().find(|r| !r.ok) {
         return Err(format!(
             "fleet total {} is {} but the committed budget is {}",
+            bad.name, bad.actual, bad.budget
+        ));
+    }
+    let rows = check_metrics_budgets(&text, &report.timeline)?;
+    for row in &rows {
+        println!(
+            "fleet bench check: tick-max {} {} (budget {})",
+            row.name, row.actual, row.budget
+        );
+    }
+    if let Some(bad) = rows.iter().find(|r| !r.ok) {
+        return Err(format!(
+            "timeline tick-max {} is {} but the committed budget is {}",
             bad.name, bad.actual, bad.budget
         ));
     }
@@ -115,7 +148,7 @@ fn check(path: &str) -> Result<(), String> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--check") {
-        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR9.json");
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_PR10.json");
         if let Err(msg) = check(path) {
             eprintln!("fleet bench check FAILED: {msg}");
             std::process::exit(1);
@@ -161,10 +194,17 @@ fn main() {
         let comma = if i + 1 < budgets.len() { "," } else { "" };
         out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
     }
+    out.push_str("  },\n");
+    out.push_str("  \"metrics_budgets\": {\n");
+    let budgets = metrics_budget_entries(&report);
+    for (i, (name, value)) in budgets.iter().enumerate() {
+        let comma = if i + 1 < budgets.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
     out.push_str("  }\n");
     out.push_str("}\n");
 
-    let path = "BENCH_PR9.json";
+    let path = "BENCH_PR10.json";
     if let Err(e) = std::fs::write(path, &out) {
         eprintln!("fleet_bench: cannot write {path}: {e}");
         std::process::exit(2);

@@ -7,6 +7,7 @@
 //! the committed `fleet_budgets` ceilings, fail-closed like the campaign
 //! gate.
 
+use wimi_metrics::Timeline;
 use wimi_serve::{run_campaign_fleet, run_fleet, summary_json, validate_summary, FleetConfig};
 use wimi_trace::analyze;
 
@@ -65,16 +66,55 @@ pub fn check_fleet_budgets(
     Ok(rows)
 }
 
+/// Checks a fleet timeline's windowed aggregates against the
+/// `metrics_budgets` object of a committed bench summary: each budget
+/// name must be a timeline series, gated on the series' windowed `max`.
+/// Fail-closed: a missing or empty object, a non-integer budget, or a
+/// name that is not a series is an error, not a skip.
+pub fn check_metrics_budgets(
+    bench_json: &str,
+    timeline: &Timeline,
+) -> Result<Vec<analyze::BudgetRow>, String> {
+    let bench = wimi_obs::json::parse(bench_json).map_err(|e| format!("bench summary: {e}"))?;
+    let Some(wimi_obs::json::Json::Obj(budgets)) = bench.get("metrics_budgets") else {
+        return Err("bench summary has no \"metrics_budgets\" object".into());
+    };
+    if budgets.is_empty() {
+        return Err("\"metrics_budgets\" is empty — nothing to gate on".into());
+    }
+    let mut rows = Vec::new();
+    for (name, value) in budgets {
+        let budget = value
+            .as_u64()
+            .ok_or_else(|| format!("budget \"{name}\" must be a non-negative integer"))?;
+        let actual = timeline
+            .aggregate(name)
+            .map(|s| s.max)
+            .ok_or_else(|| format!("budget \"{name}\" is not a timeline series"))?;
+        rows.push(analyze::BudgetRow {
+            name: name.clone(),
+            actual,
+            budget,
+            ok: actual <= budget,
+        });
+    }
+    Ok(rows)
+}
+
 /// `fleet [--sessions N] [--measurements M] [--campaign PATH]
-/// [--fleet-out PATH] [--check BENCH]`: runs the synthetic fleet (or one
-/// session per cell of a campaign file), prints totals, writes the
-/// summary, and optionally gates it. Exit 1 on budget violations or an
-/// invalid summary, exit 2 on I/O errors.
+/// [--fleet-out PATH] [--metrics-out PATH] [--slo POLICY] [--check BENCH]`:
+/// runs the synthetic fleet (or one session per cell of a campaign file),
+/// prints totals, writes the summary and the `wimi-metrics/1` timeline,
+/// gates the declared SLOs, and optionally gates budget ceilings. Exit 1
+/// on SLO breaches, budget violations or an invalid artifact, exit 2 on
+/// I/O errors.
 pub fn fleet_run(
     sessions: Option<usize>,
     measurements: Option<u64>,
     campaign_path: Option<&str>,
     out: Option<&str>,
+    metrics_out: Option<&str>,
+    slo: Option<&str>,
     check: Option<&str>,
 ) {
     let mut cfg = FleetConfig::default();
@@ -137,6 +177,53 @@ pub fn fleet_run(
         None => print!("{summary}"),
     }
 
+    // The timeline artifact, self-validated like the summary: a render
+    // the validator rejects must never reach CI's byte-compare.
+    let timeline_text =
+        wimi_metrics::render(&report.timeline, Some(&report.engine_snapshot.to_json()));
+    if let Err(e) = wimi_metrics::parse_and_validate(&timeline_text) {
+        eprintln!("fleet: timeline failed validation: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = metrics_out {
+        if let Err(e) = std::fs::write(path, &timeline_text) {
+            eprintln!("fleet: cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("fleet: timeline written to {path}");
+    }
+
+    // SLO gate: every declared objective is evaluated; all breaches are
+    // reported before the nonzero exit so the first breaching tick of
+    // each rule is visible in one run.
+    if let Some(policy_path) = slo {
+        let policy_text = match std::fs::read_to_string(policy_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fleet: cannot read {policy_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let policy = match wimi_metrics::parse_policy(&policy_text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fleet: {policy_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let rows: Vec<wimi_metrics::SessionRow> =
+            report.per_session.iter().map(|s| s.metrics_row()).collect();
+        let breaches = wimi_metrics::slo::evaluate(&policy, &report.timeline, &rows);
+        if breaches.is_empty() {
+            eprintln!("fleet: SLO check OK against {policy_path}");
+        } else {
+            for b in &breaches {
+                eprintln!("fleet: SLO breach [{}]: {}", b.rule, b.message);
+            }
+            std::process::exit(1);
+        }
+    }
+
     if let Some(bench_path) = check {
         let bench = match std::fs::read_to_string(bench_path) {
             Ok(t) => t,
@@ -157,6 +244,27 @@ pub fn fleet_run(
             Err(e) => {
                 eprintln!("fleet: {e}");
                 std::process::exit(1);
+            }
+        }
+        // A bench summary that carries telemetry ceilings gates them
+        // too (older summaries without the object stay valid).
+        if wimi_obs::json::parse(&bench)
+            .ok()
+            .is_some_and(|b| b.get("metrics_budgets").is_some())
+        {
+            match check_metrics_budgets(&bench, &report.timeline) {
+                Ok(rows) => {
+                    print!("{}", analyze::budget_table(&rows));
+                    if rows.iter().any(|r| !r.ok) {
+                        eprintln!("fleet: metrics budget check FAILED against {bench_path}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("fleet: metrics budget check OK against {bench_path}");
+                }
+                Err(e) => {
+                    eprintln!("fleet: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }
@@ -190,6 +298,36 @@ mod tests {
         let rows = check_fleet_budgets(tight, &report)
             .unwrap_or_else(|e| panic!("budgets must parse: {e}"));
         assert!(rows.iter().any(|r| !r.ok), "zero ceiling must trip");
+    }
+
+    #[test]
+    fn metrics_budgets_gate_windowed_maxima() {
+        let report = tiny_report();
+        let peak = report
+            .timeline
+            .aggregate("queue_peak")
+            .map(|s| s.max)
+            .unwrap_or(0);
+        let bench = format!(
+            "{{\"metrics_budgets\": {{\"queue_peak\": {peak}, \"shed\": 0, \"packets_processed\": 99999}}}}"
+        );
+        let rows = check_metrics_budgets(&bench, &report.timeline)
+            .unwrap_or_else(|e| panic!("budgets must parse: {e}"));
+        assert!(rows.iter().all(|r| r.ok), "{rows:?}");
+
+        let tight = "{\"metrics_budgets\": {\"requests\": 0}}";
+        let rows = check_metrics_budgets(tight, &report.timeline)
+            .unwrap_or_else(|e| panic!("budgets must parse: {e}"));
+        assert!(rows.iter().any(|r| !r.ok), "zero ceiling must trip");
+
+        // Fail-closed: no object, empty object, unknown series.
+        assert!(check_metrics_budgets("{}", &report.timeline).is_err());
+        assert!(check_metrics_budgets("{\"metrics_budgets\": {}}", &report.timeline).is_err());
+        assert!(check_metrics_budgets(
+            "{\"metrics_budgets\": {\"no_such_series\": 1}}",
+            &report.timeline
+        )
+        .is_err());
     }
 
     #[test]

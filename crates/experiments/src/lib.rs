@@ -20,6 +20,7 @@ pub mod degradation;
 pub mod features;
 pub mod fleet;
 pub mod harness;
+pub mod metrics;
 pub mod microbench;
 pub mod obs;
 pub mod trace;

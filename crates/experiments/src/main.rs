@@ -1,6 +1,6 @@
 //! CLI entry point: `cargo run -p wimi-experiments --release -- all`.
 
-use wimi_experiments::{campaign, fleet, obs, run_named, trace, Effort, ALL_EXPERIMENTS};
+use wimi_experiments::{campaign, fleet, metrics, obs, run_named, trace, Effort, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
@@ -12,7 +12,10 @@ fn usage() -> ! {
          wimi-experiments campaign-diff DIR_A DIR_B\n       \
          wimi-experiments campaign-validate PATH\n       \
          wimi-experiments fleet [--sessions N] [--measurements M] [--campaign PATH] \
-[--fleet-out PATH] [--check BENCH]"
+[--fleet-out PATH] [--metrics-out PATH] [--slo POLICY] [--check BENCH]\n       \
+         wimi-experiments metrics-validate PATH\n       \
+         wimi-experiments metrics-diff A B\n       \
+         wimi-experiments fleet-report SUMMARY [--metrics TIMELINE]"
     );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
     std::process::exit(2);
@@ -63,6 +66,9 @@ fn main() {
             "--measurements",
             "--campaign",
             "--fleet-out",
+            "--metrics-out",
+            "--slo",
+            "--metrics",
         ],
     );
     let flag = |name: &str| values.iter().find(|(f, _)| *f == name).map(|&(_, v)| v);
@@ -111,6 +117,27 @@ fn main() {
         campaign::campaign_run(path, flag("--campaign-out"), cell, flag("--check"));
         return;
     }
+    if names[0] == "metrics-validate" {
+        match names.get(1) {
+            Some(path) => metrics::metrics_validate(path),
+            None => usage(),
+        }
+        return;
+    }
+    if names[0] == "metrics-diff" {
+        match (names.get(1), names.get(2)) {
+            (Some(a), Some(b)) => metrics::metrics_diff(a, b),
+            _ => usage(),
+        }
+        return;
+    }
+    if names[0] == "fleet-report" {
+        match names.get(1) {
+            Some(path) => metrics::fleet_report(path, flag("--metrics")),
+            None => usage(),
+        }
+        return;
+    }
     if names[0] == "fleet" {
         let sessions = flag("--sessions").map(|v| match v.parse::<usize>() {
             Ok(n) => n,
@@ -125,6 +152,8 @@ fn main() {
             measurements,
             flag("--campaign"),
             flag("--fleet-out"),
+            flag("--metrics-out"),
+            flag("--slo"),
             flag("--check"),
         );
         return;

@@ -1,0 +1,76 @@
+//! Telemetry subcommands: `metrics-validate`, `metrics-diff`, and
+//! `fleet-report` over `wimi-metrics/1` timeline artifacts.
+//!
+//! Exit codes mirror the other artifact tools: 0 = OK, 1 = invalid
+//! artifact / real difference, 2 = I/O or usage error.
+
+use wimi_metrics::{diff, parse_and_validate, parse_summary_rows, render_report};
+
+fn read(path: &str, tool: &str) -> String {
+    match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{tool}: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `metrics-validate PATH`: full fail-closed validation of a
+/// `wimi-metrics/1` timeline artifact.
+pub fn metrics_validate(path: &str) {
+    let text = read(path, "metrics-validate");
+    match parse_and_validate(&text) {
+        Ok(tl) => {
+            eprintln!(
+                "metrics-validate: {path} OK ({} ticks retained, {} evicted, {} shards)",
+                tl.ticks.len(),
+                tl.evicted,
+                tl.shards
+            );
+        }
+        Err(e) => {
+            eprintln!("metrics-validate: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `metrics-diff A B`: validates both artifacts and names the first
+/// differing tick/series/shard (exit 1 on difference).
+pub fn metrics_diff(path_a: &str, path_b: &str) {
+    let a = read(path_a, "metrics-diff");
+    let b = read(path_b, "metrics-diff");
+    match diff(&a, &b) {
+        Ok(()) => eprintln!("metrics-diff: {path_a} and {path_b} carry identical timelines"),
+        Err(e) => {
+            eprintln!("metrics-diff: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `fleet-report SUMMARY [--metrics TIMELINE]`: joins a `wimi-serve/1`
+/// summary's session rows (and optionally a timeline artifact) into the
+/// per-environment × per-material table on stdout.
+pub fn fleet_report(summary_path: &str, metrics_path: Option<&str>) {
+    let summary = read(summary_path, "fleet-report");
+    let rows = match parse_summary_rows(&summary) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("fleet-report: {summary_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let timeline = metrics_path.map(|path| {
+        let text = read(path, "fleet-report");
+        match parse_and_validate(&text) {
+            Ok(tl) => tl,
+            Err(e) => {
+                eprintln!("fleet-report: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
+    print!("{}", render_report(&rows, timeline.as_ref()));
+}

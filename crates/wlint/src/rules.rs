@@ -23,7 +23,7 @@ use crate::lexer::{lex, LexOutput, Pragma, Tok, Token};
 /// The library crates whose non-test code must stay panic-free and
 /// wall-clock-free: errors flow through the `wimi_core::error` taxonomy and
 /// results must be bitwise reproducible under any thread count.
-pub const LIBRARY_CRATES: [&str; 8] = [
+pub const LIBRARY_CRATES: [&str; 9] = [
     "wiphy",
     "wdsp",
     "wml",
@@ -32,6 +32,7 @@ pub const LIBRARY_CRATES: [&str; 8] = [
     "wtrace",
     "wcampaign",
     "wserve",
+    "wmetrics",
 ];
 
 /// The crates whose *public* functions count as library entry points for

@@ -1,0 +1,276 @@
+//! Cross-fleet report synthesis: joins the `wimi-serve/1` summary's
+//! per-session rows with a `wimi-metrics/1` timeline into
+//! per-environment × per-material accuracy / shed / work-cost tables.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use wimi_obs::json::{self, Json};
+
+use crate::timeline::{Timeline, SERIES};
+
+/// One session's outcome row, as carried by the `wimi-serve/1` summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRow {
+    /// Session id.
+    pub id: u64,
+    /// Environment the session's captures were synthesized in.
+    pub environment: String,
+    /// Ground-truth material name.
+    pub material: String,
+    /// Measurements that produced a classification.
+    pub ok: u64,
+    /// Measurements that failed the physics pipeline.
+    pub failed: u64,
+    /// Measurements shed at the queue bound.
+    pub shed: u64,
+    /// Classifications matching the ground truth.
+    pub correct: u64,
+    /// Air-time packets spent across the session's measurements.
+    pub packets_spent: u64,
+}
+
+fn int_field(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing or non-integral field \"{key}\""))
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field \"{key}\""))
+}
+
+/// Extracts the per-session rows from a `wimi-serve/1` fleet summary.
+/// Fail-closed: a wrong schema tag or a row missing its environment or
+/// material labels is an error.
+pub fn parse_summary_rows(text: &str) -> Result<Vec<SessionRow>, String> {
+    let root = json::parse(text)?;
+    match root.get("schema").and_then(Json::as_str) {
+        Some("wimi-serve/1") => {}
+        Some(other) => return Err(format!("schema is \"{other}\", want \"wimi-serve/1\"")),
+        None => return Err("missing schema field".to_owned()),
+    }
+    let Some(Json::Arr(rows)) = root.get("sessions") else {
+        return Err("missing sessions array".to_owned());
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for (i, row) in rows.iter().enumerate() {
+        let context = |e: String| format!("session record {i}: {e}");
+        out.push(SessionRow {
+            id: int_field(row, "id").map_err(context)?,
+            environment: str_field(row, "environment")
+                .map_err(|e| format!("session record {i}: {e}"))?,
+            material: str_field(row, "material").map_err(|e| format!("session record {i}: {e}"))?,
+            ok: int_field(row, "ok").map_err(|e| format!("session record {i}: {e}"))?,
+            failed: int_field(row, "failed").map_err(|e| format!("session record {i}: {e}"))?,
+            shed: int_field(row, "shed").map_err(|e| format!("session record {i}: {e}"))?,
+            correct: int_field(row, "correct").map_err(|e| format!("session record {i}: {e}"))?,
+            packets_spent: int_field(row, "packets_spent")
+                .map_err(|e| format!("session record {i}: {e}"))?,
+        });
+    }
+    Ok(out)
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Cell {
+    sessions: u64,
+    ok: u64,
+    failed: u64,
+    shed: u64,
+    correct: u64,
+    packets: u64,
+}
+
+impl Cell {
+    fn absorb(&mut self, row: &SessionRow) {
+        self.sessions += 1;
+        self.ok += row.ok;
+        self.failed += row.failed;
+        self.shed += row.shed;
+        self.correct += row.correct;
+        self.packets += row.packets_spent;
+    }
+
+    fn accuracy(&self) -> f64 {
+        if self.ok == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.ok as f64
+        }
+    }
+
+    fn packets_per_measurement(&self) -> f64 {
+        let measured = self.ok + self.failed;
+        if measured == 0 {
+            0.0
+        } else {
+            self.packets as f64 / measured as f64
+        }
+    }
+}
+
+fn write_cell(out: &mut String, label: &str, c: &Cell) {
+    let _ = writeln!(
+        out,
+        "{label:<24} {:>8} {:>6} {:>6} {:>6} {:>7} {:>9.6} {:>9.2}",
+        c.sessions,
+        c.ok,
+        c.failed,
+        c.shed,
+        c.correct,
+        c.accuracy(),
+        c.packets_per_measurement()
+    );
+}
+
+/// Renders the cross-fleet report: one table row per
+/// environment × material cell (lexicographic order), a totals row, and
+/// — when a timeline is supplied — the windowed min/max/mean/last of
+/// every telemetry series. Deterministic: plain functions of the rows.
+// wlint: artifact
+pub fn render_report(rows: &[SessionRow], timeline: Option<&Timeline>) -> String {
+    let mut cells: BTreeMap<(String, String), Cell> = BTreeMap::new();
+    let mut total = Cell::default();
+    for row in rows {
+        cells
+            .entry((row.environment.clone(), row.material.clone()))
+            .or_default()
+            .absorb(row);
+        total.absorb(row);
+    }
+
+    let mut out = String::new();
+    out.push_str("fleet report (wimi-serve/1 x wimi-metrics/1)\n\n");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>6} {:>6} {:>6} {:>7} {:>9} {:>9}",
+        "environment/material",
+        "sessions",
+        "ok",
+        "failed",
+        "shed",
+        "correct",
+        "accuracy",
+        "pkts/meas"
+    );
+    for ((env, material), cell) in &cells {
+        write_cell(&mut out, &format!("{env}/{material}"), cell);
+    }
+    write_cell(&mut out, "total", &total);
+
+    if let Some(tl) = timeline {
+        let _ = writeln!(
+            out,
+            "\ntimeline: {} ticks retained (window {}, evicted {}), {} shards",
+            tl.ticks.len(),
+            tl.window,
+            tl.evicted,
+            tl.shards
+        );
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>8} {:>12} {:>8}",
+            "series", "min", "max", "mean", "last"
+        );
+        for name in SERIES {
+            if let Some(s) = tl.aggregate(name) {
+                let _ = writeln!(
+                    out,
+                    "{name:<20} {:>8} {:>8} {:>12.6} {:>8}",
+                    s.min, s.max, s.mean, s.last
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::{ShardSample, TickCollector, TickSample};
+
+    fn row(id: u64, env: &str, material: &str, ok: u64, correct: u64, shed: u64) -> SessionRow {
+        SessionRow {
+            id,
+            environment: env.to_owned(),
+            material: material.to_owned(),
+            ok,
+            failed: 1,
+            shed,
+            correct,
+            packets_spent: (ok + 1) * 10,
+        }
+    }
+
+    #[test]
+    fn report_groups_by_environment_then_material() {
+        let rows = vec![
+            row(0, "Lab", "Milk", 4, 3, 0),
+            row(1, "Hall", "PureWater", 4, 4, 1),
+            row(2, "Lab", "Milk", 4, 2, 0),
+            row(3, "Lab", "PureWater", 4, 4, 0),
+        ];
+        let text = render_report(&rows, None);
+        let lab_milk = text.lines().position(|l| l.starts_with("Lab/Milk"));
+        let hall = text.lines().position(|l| l.starts_with("Hall/PureWater"));
+        let total = text.lines().position(|l| l.starts_with("total"));
+        assert!(hall < lab_milk && lab_milk < total, "{text}");
+        // Lab/Milk: 8 ok, 5 correct → accuracy 0.625.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("Lab/Milk"))
+            .map(str::to_owned);
+        assert!(
+            line.as_deref().is_some_and(|l| l.contains("0.625000")),
+            "{line:?}"
+        );
+        // Renders deterministically.
+        assert_eq!(text, render_report(&rows, None));
+    }
+
+    #[test]
+    fn timeline_join_lists_every_series() {
+        let mut c = TickCollector::new(1, 4);
+        c.push(TickSample {
+            tick: 0,
+            requests: 4,
+            completed: 4,
+            shards: vec![ShardSample {
+                depth: 4,
+                peak: 4,
+                submitted: 4,
+                completed: 4,
+                shed: 0,
+            }],
+            ..TickSample::default()
+        });
+        let text = render_report(&[row(0, "Lab", "Milk", 4, 4, 0)], Some(&c.finish()));
+        for name in SERIES {
+            assert!(text.contains(name), "{name} missing from:\n{text}");
+        }
+    }
+
+    #[test]
+    fn summary_rows_parse_fail_closed() {
+        let good = r#"{
+  "schema": "wimi-serve/1",
+  "sessions": [
+    {"id": 0, "environment": "Lab", "material": "Milk", "ok": 4, "failed": 1,
+     "shed": 0, "correct": 3, "packets_spent": 50}
+  ]
+}"#;
+        let rows = parse_summary_rows(good).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].environment, "Lab");
+        assert_eq!(rows[0].material, "Milk");
+
+        assert!(parse_summary_rows(&good.replace("wimi-serve/1", "wimi-serve/0")).is_err());
+        assert!(parse_summary_rows(&good.replace("\"environment\": \"Lab\", ", "")).is_err());
+        assert!(parse_summary_rows("{}").is_err());
+    }
+}

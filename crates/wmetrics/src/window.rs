@@ -1,0 +1,165 @@
+//! Bounded ring-buffer windows and the windowed aggregate statistics
+//! every timeline series reports.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO window: a push past the capacity evicts the oldest
+/// entry and counts it, so a long-lived fleet holds at most `capacity`
+/// ticks of telemetry while still knowing exactly how much history it
+/// dropped. Capacity clamps to one — a zero-capacity window would make
+/// every aggregate vacuous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingWindow<T> {
+    capacity: usize,
+    buf: VecDeque<T>,
+    evicted: u64,
+}
+
+impl<T> RingWindow<T> {
+    /// An empty window holding at most `capacity.max(1)` entries.
+    pub fn new(capacity: usize) -> RingWindow<T> {
+        RingWindow {
+            capacity: capacity.max(1),
+            buf: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Appends `value`, evicting (and counting) the oldest entry when
+    /// the window is already full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The (clamped) capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries evicted since construction.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Iterates oldest → newest over the retained entries.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+/// Windowed aggregate of one integer series: the four statistics every
+/// timeline series reports. `mean` is the only non-integer and is
+/// rendered at fixed six-decimal precision, keeping artifacts
+/// byte-stable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStats {
+    /// Smallest value in the window.
+    pub min: u64,
+    /// Largest value in the window.
+    pub max: u64,
+    /// Arithmetic mean over the window.
+    pub mean: f64,
+    /// Most recent value.
+    pub last: u64,
+}
+
+impl WindowStats {
+    /// Aggregates `values`; `None` for an empty series.
+    pub fn over(values: impl Iterator<Item = u64>) -> Option<WindowStats> {
+        let mut n = 0u64;
+        let mut sum = 0u64;
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        let mut last = 0u64;
+        for v in values {
+            n += 1;
+            sum = sum.saturating_add(v);
+            min = min.min(v);
+            max = max.max(v);
+            last = v;
+        }
+        if n == 0 {
+            return None;
+        }
+        Some(WindowStats {
+            min,
+            max,
+            mean: sum as f64 / n as f64,
+            last,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nothing_evicts_below_capacity() {
+        let mut w = RingWindow::new(3);
+        for i in 0..3 {
+            w.push(i);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.evicted(), 0);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn eviction_starts_exactly_at_the_capacity_boundary() {
+        // The boundary case the windowed aggregates depend on: the
+        // capacity-th push must NOT evict, the (capacity+1)-th must.
+        let mut w = RingWindow::new(4);
+        for i in 0..4 {
+            w.push(i);
+            assert_eq!(w.evicted(), 0, "push {i} is within capacity");
+        }
+        w.push(4);
+        assert_eq!(w.evicted(), 1);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        w.push(5);
+        assert_eq!(w.evicted(), 2);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut w = RingWindow::new(0);
+        assert_eq!(w.capacity(), 1);
+        w.push(7);
+        w.push(9);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.evicted(), 1);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn stats_cover_min_max_mean_last() {
+        let s = WindowStats::over([3u64, 1, 2].into_iter()).unwrap_or(WindowStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            last: 0,
+        });
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 3);
+        assert_eq!(s.last, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(WindowStats::over(std::iter::empty()).is_none());
+    }
+}

@@ -57,5 +57,5 @@ pub mod recorder;
 pub mod snapshot;
 
 pub use clock::{Clock, NullClock, TickClock};
-pub use recorder::{CounterId, IssueId, Recorder, Span, StageId};
+pub use recorder::{CounterId, GaugeId, IssueId, Recorder, Span, StageId};
 pub use snapshot::{validate_json, validate_value, Hist, Snapshot, StageStat, SCHEMA};

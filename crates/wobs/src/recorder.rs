@@ -174,6 +174,35 @@ impl CounterId {
     }
 }
 
+/// Last-value gauges: instantaneous levels, as opposed to the monotone
+/// [`CounterId`] counters above.
+///
+/// A gauge store is last-write-wins, which is only deterministic when
+/// every store happens at a deterministic point in the program — so
+/// gauges must be set from serial driver code (the serve tick loop),
+/// never from inside the parallel fan-out where store order would depend
+/// on worker scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaugeId {
+    /// Requests queued across all serve shards when the last drain began.
+    ServeQueueDepth,
+    /// Sessions the serve engine is currently driving.
+    ServeSessions,
+}
+
+impl GaugeId {
+    /// All gauges in canonical (snapshot) order.
+    pub const ALL: [GaugeId; 2] = [GaugeId::ServeQueueDepth, GaugeId::ServeSessions];
+
+    /// Stable snake_case name used in snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            GaugeId::ServeQueueDepth => "serve_queue_depth",
+            GaugeId::ServeSessions => "serve_sessions",
+        }
+    }
+}
+
 /// Quality-report issue kinds, mirroring `wimi_core::error::IssueKind`
 /// (named here rather than imported: `wimi-obs` sits below `wimi-core` in
 /// the dependency graph).
@@ -244,6 +273,7 @@ pub struct Recorder {
     stage_calls: [AtomicU64; 7],
     stage_ns: [AtomicU64; 7],
     counters: [AtomicU64; 25],
+    gauges: [AtomicU64; 2],
     issues: [AtomicU64; 7],
     gamma: [AtomicU64; 9],
     dispersion: [AtomicU64; 6],
@@ -277,6 +307,7 @@ impl Recorder {
             stage_calls: zeroes(),
             stage_ns: zeroes(),
             counters: zeroes(),
+            gauges: zeroes(),
             issues: zeroes(),
             gamma: zeroes(),
             dispersion: zeroes(),
@@ -335,6 +366,15 @@ impl Recorder {
     #[inline]
     pub fn incr(&self, counter: CounterId) {
         self.add(counter, 1);
+    }
+
+    /// Sets a gauge to its current level (last-write-wins). Only call
+    /// from deterministic serial code — see [`GaugeId`].
+    #[inline]
+    pub fn set_gauge(&self, gauge: GaugeId, value: u64) {
+        if self.enabled {
+            self.gauges[gauge as usize].store(value, Ordering::Relaxed);
+        }
     }
 
     /// Tallies `n` occurrences of a quality-report issue kind.
@@ -401,6 +441,10 @@ impl Recorder {
             counters: CounterId::ALL
                 .iter()
                 .map(|&c| (c.name(), read(&self.counters[c as usize])))
+                .collect(),
+            gauges: GaugeId::ALL
+                .iter()
+                .map(|&g| (g.name(), read(&self.gauges[g as usize])))
                 .collect(),
             issues: IssueId::ALL
                 .iter()
@@ -598,6 +642,21 @@ mod tests {
         let counts = rec.snapshot().attempts.counts;
         assert_eq!(counts[0], 1);
         assert_eq!(counts[5], 2);
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let rec = Recorder::enabled();
+        rec.set_gauge(GaugeId::ServeQueueDepth, 7);
+        rec.set_gauge(GaugeId::ServeQueueDepth, 3);
+        rec.set_gauge(GaugeId::ServeSessions, 12);
+        let snap = rec.snapshot();
+        assert_eq!(snap.gauge("serve_queue_depth"), Some(3));
+        assert_eq!(snap.gauge("serve_sessions"), Some(12));
+        // Disabled recorders ignore stores entirely.
+        let off = Recorder::disabled();
+        off.set_gauge(GaugeId::ServeSessions, 9);
+        assert_eq!(off.snapshot().gauge("serve_sessions"), Some(0));
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use crate::json::{field, parse, Json};
 use crate::recorder::{
-    CounterId, IssueId, StageId, ATTEMPT_LABELS, DISPERSION_LABELS, GAMMA_LABELS,
+    CounterId, GaugeId, IssueId, StageId, ATTEMPT_LABELS, DISPERSION_LABELS, GAMMA_LABELS,
 };
 
 /// Schema identifier stamped into every export.
@@ -43,6 +43,8 @@ pub struct Snapshot {
     pub stages: Vec<StageStat>,
     /// All counters, canonical order.
     pub counters: Vec<(&'static str, u64)>,
+    /// All last-value gauges, canonical order.
+    pub gauges: Vec<(&'static str, u64)>,
     /// All issue tallies, canonical order.
     pub issues: Vec<(&'static str, u64)>,
     /// Resolved-γ distribution.
@@ -57,6 +59,14 @@ impl Snapshot {
     /// Looks up a counter by its snapshot name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge by its snapshot name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
             .iter()
             .find(|&&(n, _)| n == name)
             .map(|&(_, v)| v)
@@ -81,6 +91,8 @@ impl Snapshot {
         }
         out.push_str("  ],\n");
         write_int_object(&mut out, "counters", &self.counters, "  ");
+        out.push_str(",\n");
+        write_int_object(&mut out, "gauges", &self.gauges, "  ");
         out.push_str(",\n");
         write_int_object(&mut out, "issues", &self.issues, "  ");
         out.push_str(",\n  \"histograms\": {\n");
@@ -114,6 +126,10 @@ impl Snapshot {
         }
         out.push_str("counters:\n");
         for &(name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<28} {v:>9}");
+        }
+        out.push_str("gauges:\n");
+        for &(name, v) in &self.gauges {
             let _ = writeln!(out, "  {name:<28} {v:>9}");
         }
         out.push_str("issues:\n");
@@ -180,7 +196,14 @@ pub fn validate_value(value: &Json) -> Result<(), String> {
     }
     expect_keys(
         root,
-        &["schema", "stages", "counters", "issues", "histograms"],
+        &[
+            "schema",
+            "stages",
+            "counters",
+            "gauges",
+            "issues",
+            "histograms",
+        ],
         "root",
     )?;
 
@@ -212,6 +235,8 @@ pub fn validate_value(value: &Json) -> Result<(), String> {
 
     let counter_names: Vec<&str> = CounterId::ALL.iter().map(|c| c.name()).collect();
     expect_int_object(root, "counters", &counter_names)?;
+    let gauge_names: Vec<&str> = GaugeId::ALL.iter().map(|g| g.name()).collect();
+    expect_int_object(root, "gauges", &gauge_names)?;
     let issue_names: Vec<&str> = IssueId::ALL.iter().map(|i| i.name()).collect();
     expect_int_object(root, "issues", &issue_names)?;
 
@@ -387,6 +412,22 @@ mod tests {
     fn validator_rejects_missing_counter() {
         let good = Recorder::enabled().snapshot().to_json();
         let bad = good.replace("\"packets_kept\"", "\"packets_krept\"");
+        assert!(validate_json(&bad).is_err());
+    }
+
+    #[test]
+    fn gauges_round_trip_through_export_and_validator() {
+        let rec = Recorder::enabled();
+        rec.set_gauge(crate::GaugeId::ServeQueueDepth, 5);
+        rec.set_gauge(crate::GaugeId::ServeSessions, 12);
+        let json = rec.snapshot().to_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"serve_queue_depth\": 5"));
+        assert!(json.contains("\"serve_sessions\": 12"));
+        // Dropping the gauges section must fail closed.
+        let parsed = crate::json::parse(&json).unwrap();
+        assert!(parsed.get("gauges").is_some());
+        let bad = json.replace("\"serve_queue_depth\"", "\"serve_queue_dept\"");
         assert!(validate_json(&bad).is_err());
     }
 

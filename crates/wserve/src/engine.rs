@@ -27,14 +27,14 @@ use rand::{Rng, SeedableRng};
 use wimi_campaign::derive_cell_seed;
 use wimi_core::{MaterialFeature, WiMi, WiMiConfig};
 use wimi_ml::dataset::Dataset;
-use wimi_obs::{CounterId, Recorder};
+use wimi_obs::{CounterId, GaugeId, Recorder};
 use wimi_phy::channel::Environment;
 use wimi_phy::csi::CsiSource;
 use wimi_phy::scenario::{LiquidSpec, Scenario, Simulator};
 use wimi_phy::units::Meters;
 
 use crate::cache::{ModelCache, ModelKey};
-use crate::queue::BoundedQueues;
+use crate::queue::{BoundedQueues, ShardTick};
 use crate::session::{MeasureOutcome, MeasureRequest, Session};
 
 /// Engine shape and training configuration.
@@ -89,6 +89,24 @@ pub struct ServeResponse {
     pub salvaged: bool,
     /// Packets actually spent across all attempts.
     pub packets_spent: usize,
+    /// Attempts taken (1 = first try succeeded).
+    pub attempts: usize,
+}
+
+/// One shard's activity over one submit/drain tick, handed to the
+/// telemetry collector by [`Engine::take_tick_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTickStats {
+    /// Requests accepted onto the shard this tick.
+    pub submitted: u64,
+    /// Requests shed at the shard's bound this tick.
+    pub shed: u64,
+    /// Highest depth the shard reached this tick.
+    pub peak: u64,
+    /// Depth when the drain began (gauge).
+    pub depth: u64,
+    /// Responses the shard produced this tick.
+    pub completed: u64,
 }
 
 /// Test seam: invoked once per request inside the owning worker, with
@@ -103,6 +121,7 @@ pub struct Engine {
     specs: BTreeMap<String, LiquidSpec>,
     cache: ModelCache,
     queues: BoundedQueues,
+    tick_completed: Vec<u64>,
     recorder: Arc<Recorder>,
     probe: Option<RequestProbe>,
 }
@@ -119,12 +138,18 @@ impl Engine {
         recorder: Arc<Recorder>,
     ) -> Engine {
         let queues = BoundedQueues::new(cfg.shards, cfg.queue_bound);
+        let tick_completed = vec![0; queues.shard_count()];
+        // Gauges are last-write-wins; setting them here and from serial
+        // drain code (never inside the parallel fan-out) keeps snapshots
+        // deterministic.
+        recorder.set_gauge(GaugeId::ServeSessions, sessions.len() as u64);
         Engine {
             cfg,
             sessions,
             specs: catalog.into_iter().collect(),
             cache: ModelCache::new(),
             queues,
+            tick_completed,
             recorder,
             probe: None,
         }
@@ -148,6 +173,36 @@ impl Engine {
     /// Highest single-shard queue depth observed.
     pub fn queue_peak(&self) -> usize {
         self.queues.peak()
+    }
+
+    /// Highest depth each shard ever reached, shard order — names the
+    /// hot shard behind [`Engine::queue_peak`].
+    pub fn shard_peaks(&self) -> &[usize] {
+        self.queues.shard_peaks()
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.queues.shard_count()
+    }
+
+    /// Hands over (and resets) each shard's submit/drain deltas since
+    /// the previous call — the telemetry timeline's per-shard samples.
+    pub fn take_tick_stats(&mut self) -> Vec<ShardTickStats> {
+        let completed =
+            std::mem::replace(&mut self.tick_completed, vec![0; self.queues.shard_count()]);
+        self.queues
+            .take_tick()
+            .into_iter()
+            .zip(completed)
+            .map(|(t, completed): (ShardTick, u64)| ShardTickStats {
+                submitted: t.submitted,
+                shed: t.shed,
+                peak: t.peak,
+                depth: t.depth,
+                completed,
+            })
+            .collect()
     }
 
     /// Requests shed at the queue bound so far.
@@ -193,6 +248,10 @@ impl Engine {
     /// forwarded to the caller, mirroring the serial loop — never
     /// swallowed into a missing response.
     pub fn drain(&mut self) -> Vec<ServeResponse> {
+        // Depth gauge: sampled here, in serial driver code, before the
+        // drain empties the queues.
+        self.recorder
+            .set_gauge(GaugeId::ServeQueueDepth, self.queues.depth() as u64);
         let shard_batches = self.queues.take();
         let sessions = &self.sessions;
         let probe = self.probe.as_deref();
@@ -260,9 +319,13 @@ impl Engine {
                     rejected: out.rejected,
                     salvaged: out.salvaged,
                     packets_spent: out.packets_spent,
+                    attempts: out.attempts,
                 }
             })
             .collect();
+        for r in &responses {
+            self.tick_completed[self.queues.shard_of(r.session)] += 1;
+        }
         responses.sort_by_key(|r| (r.session, r.seq));
         responses
     }

@@ -13,7 +13,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use wimi_campaign::{derive_cell_seed, expand, fault_plan, lower, state_at, Campaign};
-use wimi_obs::{CounterId, Recorder};
+use wimi_metrics::{SessionRow, ShardSample, TickCollector, TickSample, Timeline};
+use wimi_obs::{CounterId, Recorder, Snapshot};
 use wimi_phy::channel::Environment;
 use wimi_phy::material::LIQUIDS;
 use wimi_phy::scenario::LiquidSpec;
@@ -42,6 +43,9 @@ pub struct FleetConfig {
     pub retry: RetryPolicy,
     /// Whether sessions carry per-session trace sinks.
     pub trace: bool,
+    /// Telemetry window: how many of the newest ticks the report's
+    /// timeline retains (older ticks are evicted and counted).
+    pub metrics_window: usize,
     /// Engine shape (shards, queue bound, batching, training).
     pub serve: ServeConfig,
 }
@@ -57,6 +61,7 @@ impl Default for FleetConfig {
             environments: vec![Environment::Lab, Environment::EmptyHall],
             retry: RetryPolicy::default(),
             trace: false,
+            metrics_window: 1024,
             serve: ServeConfig::default(),
         }
     }
@@ -69,6 +74,10 @@ pub struct SessionStat {
     pub id: u64,
     /// Ground-truth label.
     pub truth: usize,
+    /// Environment name the session ran in.
+    pub environment: String,
+    /// Ground-truth material name (`catalog[truth]`).
+    pub material: String,
     /// Responses with a predicted label.
     pub ok: u64,
     /// Responses without one (retries exhausted or key untrainable).
@@ -83,6 +92,22 @@ pub struct SessionStat {
     pub salvaged: u64,
     /// Packets actually spent across all measurements.
     pub packets_spent: u64,
+}
+
+impl SessionStat {
+    /// This session as a `wimi-metrics` report row.
+    pub fn metrics_row(&self) -> SessionRow {
+        SessionRow {
+            id: self.id,
+            environment: self.environment.clone(),
+            material: self.material.clone(),
+            ok: self.ok,
+            failed: self.failed,
+            shed: self.shed,
+            correct: self.correct,
+            packets_spent: self.packets_spent,
+        }
+    }
 }
 
 /// Everything a fleet run produced, ready for summary rendering.
@@ -115,6 +140,12 @@ pub struct FleetReport {
     /// Fleet-wide counters (engine + every session, summed), canonical
     /// [`CounterId::ALL`] order.
     pub counters: Vec<(&'static str, u64)>,
+    /// Tick-resolved telemetry over the run (bounded to the configured
+    /// window).
+    pub timeline: Timeline,
+    /// The engine recorder's final snapshot — the one the telemetry
+    /// artifact embeds and cross-checks against the tick sums.
+    pub engine_snapshot: Snapshot,
 }
 
 /// Builds the synthetic fleet's sessions and its material catalog.
@@ -151,11 +182,19 @@ fn build_sessions(cfg: &FleetConfig) -> (Vec<Session>, Vec<(String, LiquidSpec)>
     (sessions, catalog)
 }
 
-/// Folds one drain's responses into the running stats.
-fn fold(responses: &[ServeResponse], stats: &mut [SessionStat]) -> (u64, u64, u64) {
+/// Folds one drain's responses into the running stats. `pos_of` maps
+/// session *ids* (what responses carry) to positions in `stats` — the
+/// two differ whenever ids are sparse (campaign fleets with skipped
+/// cells), and indexing by id silently misattributed tallies before the
+/// summary grew its per-session conservation check.
+fn fold(
+    responses: &[ServeResponse],
+    pos_of: &BTreeMap<u64, usize>,
+    stats: &mut [SessionStat],
+) -> (u64, u64, u64) {
     let (mut ok, mut failed, mut correct) = (0u64, 0u64, 0u64);
     for r in responses {
-        let Some(stat) = stats.get_mut(r.session as usize) else {
+        let Some(stat) = pos_of.get(&r.session).and_then(|&p| stats.get_mut(p)) else {
             continue;
         };
         stat.rejected += r.rejected as u64;
@@ -181,43 +220,95 @@ fn fold(responses: &[ServeResponse], stats: &mut [SessionStat]) -> (u64, u64, u6
     (ok, failed, correct)
 }
 
+/// Reads one named counter out of a snapshot (0 when absent).
+fn counter_of(snap: &Snapshot, name: &str) -> u64 {
+    snap.counter(name).unwrap_or(0)
+}
+
 /// Runs a fleet over an already-built engine. `measurements` requests per
 /// session are submitted one per tick in session order, draining between
-/// ticks.
-fn drive(mut engine: Engine, measurements: u64, seed: u64) -> FleetReport {
+/// ticks. Each tick's service, cache and retry deltas are sampled into
+/// the report's timeline (bounded to `metrics_window` ticks).
+fn drive(mut engine: Engine, measurements: u64, seed: u64, metrics_window: usize) -> FleetReport {
     let mut stats: Vec<SessionStat> = engine
         .sessions()
         .iter()
         .map(|s| SessionStat {
             id: s.id,
             truth: s.truth,
+            environment: s.environment.name().to_owned(),
+            material: s.catalog.get(s.truth).cloned().unwrap_or_default(),
             ..SessionStat::default()
         })
         .collect();
+    let pos_of: BTreeMap<u64, usize> = stats.iter().enumerate().map(|(p, s)| (s.id, p)).collect();
     let session_count = stats.len();
+    let mut collector = TickCollector::new(engine.shard_count(), metrics_window);
     let (mut requests, mut ok, mut failed, mut correct) = (0u64, 0u64, 0u64, 0u64);
     for seq in 0..measurements {
+        let before = engine.recorder().snapshot();
+        let mut tick_requests = 0u64;
         for (session, stat) in stats.iter_mut().enumerate() {
             requests += 1;
+            tick_requests += 1;
             if engine.submit(&[MeasureRequest { session, seq }]) == 0 {
                 stat.shed += 1;
             }
         }
         let responses = engine.drain();
-        let (o, f, c) = fold(&responses, &mut stats);
+        let after = engine.recorder().snapshot();
+        let (o, f, c) = fold(&responses, &pos_of, &mut stats);
         ok += o;
         failed += f;
         correct += c;
+
+        // One TickSample per tick: cache/batch deltas come from the
+        // engine recorder (serial snapshot diff), retry and work-cost
+        // deltas fold over this tick's responses, the shard breakdown
+        // comes from the queues. All deterministic — no wall clock.
+        let delta = |name: &str| counter_of(&after, name) - counter_of(&before, name);
+        let shards: Vec<ShardSample> = engine
+            .take_tick_stats()
+            .into_iter()
+            .map(|s| ShardSample {
+                depth: s.depth,
+                peak: s.peak,
+                submitted: s.submitted,
+                completed: s.completed,
+                shed: s.shed,
+            })
+            .collect();
+        collector.push(TickSample {
+            tick: seq,
+            requests: tick_requests,
+            completed: responses.len() as u64,
+            shed: tick_requests - responses.len() as u64,
+            cache_hits: delta("model_cache_hits"),
+            cache_misses: delta("model_cache_misses"),
+            retry_attempts: responses.iter().map(|r| r.attempts as u64).sum(),
+            retries_exhausted: responses.iter().filter(|r| !r.measured).count() as u64,
+            svm_batches: delta("serve_batches"),
+            packets_processed: responses.iter().map(|r| r.packets_spent as u64).sum(),
+            // Responses are sorted by (session, seq) and each session
+            // submits once per tick, so these ids are already ascending.
+            exhausted: responses
+                .iter()
+                .filter(|r| !r.measured)
+                .map(|r| r.session)
+                .collect(),
+            shards,
+        });
     }
     // Queue peak is monotone across the run; record it once so the
     // snapshot carries it.
     engine
         .recorder()
         .add(CounterId::ServeQueuePeak, engine.queue_peak() as u64);
+    let engine_snapshot = engine.recorder().snapshot();
 
     // Fleet-wide counters: the engine's (serve/cache/training) plus every
     // per-session recorder, summed in canonical order.
-    let mut counters: Vec<(&'static str, u64)> = engine.recorder().snapshot().counters;
+    let mut counters: Vec<(&'static str, u64)> = engine_snapshot.counters.clone();
     for session in engine.sessions() {
         let snap = session.recorder.snapshot();
         for (slot, &(_, v)) in counters.iter_mut().zip(snap.counters.iter()) {
@@ -240,6 +331,8 @@ fn drive(mut engine: Engine, measurements: u64, seed: u64) -> FleetReport {
         queue_peak: engine.queue_peak(),
         per_session: stats,
         counters,
+        timeline: collector.finish(),
+        engine_snapshot,
     }
 }
 
@@ -252,7 +345,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
         catalog,
         Arc::new(Recorder::enabled()),
     );
-    drive(engine, cfg.measurements, cfg.seed)
+    drive(engine, cfg.measurements, cfg.seed, cfg.metrics_window)
 }
 
 /// Runs a fleet where each campaign grid cell becomes one session: the
@@ -298,7 +391,7 @@ pub fn run_campaign_fleet(campaign: &Campaign, cfg: &FleetConfig) -> FleetReport
         union.into_iter().collect(),
         Arc::new(Recorder::enabled()),
     );
-    drive(engine, cfg.measurements, campaign.seed)
+    drive(engine, cfg.measurements, campaign.seed, cfg.metrics_window)
 }
 
 #[cfg(test)]
@@ -331,6 +424,56 @@ mod tests {
         assert_eq!(report.model_keys, 2);
         let per: u64 = report.per_session.iter().map(|s| s.ok + s.failed).sum();
         assert_eq!(per, report.responses);
+    }
+
+    #[test]
+    fn fleet_timeline_validates_as_a_metrics_artifact() {
+        let report = run_fleet(&tiny());
+        assert_eq!(report.timeline.ticks.len(), 2, "one sample per tick");
+        assert_eq!(report.timeline.shards, 3);
+        assert_eq!(report.timeline.evicted, 0);
+        // Render with the embedded engine snapshot and run the full
+        // fail-closed validation, including the counter cross-checks.
+        let text = wimi_metrics::render(&report.timeline, Some(&report.engine_snapshot.to_json()));
+        let parsed = wimi_metrics::parse_and_validate(&text)
+            .unwrap_or_else(|e| panic!("fleet timeline must validate: {e}"));
+        assert_eq!(parsed, report.timeline);
+        // The timeline's queue peak is the report's (and the counter's).
+        let peak = report
+            .timeline
+            .aggregate("queue_peak")
+            .map(|s| s.max)
+            .unwrap_or(0);
+        assert_eq!(peak, report.queue_peak as u64);
+    }
+
+    #[test]
+    fn session_stats_carry_environment_and_material() {
+        let report = run_fleet(&tiny());
+        for (i, stat) in report.per_session.iter().enumerate() {
+            let want_env = if i % 2 == 0 { "Lab" } else { "Hall" };
+            assert_eq!(stat.environment, want_env);
+            assert!(!stat.material.is_empty());
+            let row = stat.metrics_row();
+            assert_eq!(row.environment, stat.environment);
+            assert_eq!(row.material, stat.material);
+        }
+    }
+
+    #[test]
+    fn metrics_window_bounds_the_timeline() {
+        let report = run_fleet(&FleetConfig {
+            measurements: 5,
+            metrics_window: 2,
+            ..tiny()
+        });
+        assert_eq!(report.timeline.ticks.len(), 2);
+        assert_eq!(report.timeline.evicted, 3);
+        assert_eq!(report.timeline.first_tick(), Some(3));
+        // Windowed timelines still validate (the counter cross-check
+        // self-gates on eviction).
+        let text = wimi_metrics::render(&report.timeline, Some(&report.engine_snapshot.to_json()));
+        wimi_metrics::parse_and_validate(&text).unwrap_or_else(|e| panic!("{e}"));
     }
 
     #[test]

@@ -42,9 +42,9 @@ pub mod session;
 pub mod summary;
 
 pub use cache::{ModelCache, ModelKey};
-pub use engine::{Engine, ServeConfig, ServeResponse};
+pub use engine::{Engine, ServeConfig, ServeResponse, ShardTickStats};
 pub use fleet::{run_campaign_fleet, run_fleet, FleetConfig, FleetReport, SessionStat};
-pub use queue::BoundedQueues;
+pub use queue::{BoundedQueues, ShardTick};
 pub use retry::{attempt_capture_seed, RetryPolicy};
 pub use session::{MeasureOutcome, MeasureRequest, Session, SessionSpec};
 pub use summary::{summary_json, validate_summary, SUMMARY_SCHEMA};

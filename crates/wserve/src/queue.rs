@@ -11,12 +11,28 @@ use std::collections::VecDeque;
 
 use crate::session::MeasureRequest;
 
+/// One shard's queue activity since the last [`BoundedQueues::take_tick`]:
+/// the per-tick deltas the telemetry timeline samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardTick {
+    /// Requests accepted onto this shard this tick.
+    pub submitted: u64,
+    /// Requests shed at this shard's bound this tick.
+    pub shed: u64,
+    /// Highest depth this shard reached this tick.
+    pub peak: u64,
+    /// Depth when the last drain began (gauge).
+    pub depth: u64,
+}
+
 /// Fixed set of bounded FIFO queues, one per shard.
 #[derive(Debug)]
 pub struct BoundedQueues {
     bound: usize,
     shards: Vec<VecDeque<MeasureRequest>>,
     peak: usize,
+    shard_peaks: Vec<usize>,
+    tick: Vec<ShardTick>,
     shed: u64,
 }
 
@@ -25,10 +41,13 @@ impl BoundedQueues {
     /// (at least one — a zero bound would shed everything and make the
     /// service vacuous).
     pub fn new(shards: usize, bound: usize) -> BoundedQueues {
+        let shards = shards.max(1);
         BoundedQueues {
             bound: bound.max(1),
-            shards: (0..shards.max(1)).map(|_| VecDeque::new()).collect(),
+            shards: (0..shards).map(|_| VecDeque::new()).collect(),
             peak: 0,
+            shard_peaks: vec![0; shards],
+            tick: vec![ShardTick::default(); shards],
             shed: 0,
         }
     }
@@ -48,20 +67,46 @@ impl BoundedQueues {
         let shard = shard % self.shards.len();
         if self.shards[shard].len() >= self.bound {
             self.shed += 1;
+            self.tick[shard].shed += 1;
             return false;
         }
         self.shards[shard].push_back(req);
-        self.peak = self.peak.max(self.shards[shard].len());
+        let depth = self.shards[shard].len();
+        self.peak = self.peak.max(depth);
+        self.shard_peaks[shard] = self.shard_peaks[shard].max(depth);
+        self.tick[shard].submitted += 1;
+        self.tick[shard].peak = self.tick[shard].peak.max(depth as u64);
         true
     }
 
     /// Takes every queued request, emptying the queues: one FIFO `Vec`
-    /// per shard, shard order.
+    /// per shard, shard order. Each shard's pre-drain depth is sampled
+    /// into its current [`ShardTick`].
     pub fn take(&mut self) -> Vec<Vec<MeasureRequest>> {
         self.shards
             .iter_mut()
-            .map(|q| q.drain(..).collect())
+            .zip(self.tick.iter_mut())
+            .map(|(q, tick)| {
+                tick.depth = q.len() as u64;
+                q.drain(..).collect()
+            })
             .collect()
+    }
+
+    /// Hands over (and resets) the per-shard deltas accumulated since
+    /// the previous call, shard order.
+    pub fn take_tick(&mut self) -> Vec<ShardTick> {
+        std::mem::replace(
+            &mut self.tick,
+            vec![ShardTick::default(); self.shards.len()],
+        )
+    }
+
+    /// Highest depth each shard ever reached, shard order — the
+    /// per-shard refinement of [`BoundedQueues::peak`] that lets shed
+    /// attribution name the hot shard.
+    pub fn shard_peaks(&self) -> &[usize] {
+        &self.shard_peaks
     }
 
     /// Requests currently queued across all shards.
@@ -129,6 +174,50 @@ mod tests {
         assert_eq!(q.shard_count(), 1);
         assert!(q.push(0, req(0, 0)));
         assert!(!q.push(0, req(1, 0)), "bound clamps to 1, second sheds");
+    }
+
+    #[test]
+    fn per_shard_peaks_refine_the_global_peak() {
+        let mut q = BoundedQueues::new(2, 4);
+        // Shard 0 reaches depth 3, shard 1 only 1.
+        for seq in 0..3 {
+            q.push(0, req(0, seq));
+        }
+        q.push(1, req(1, 0));
+        assert_eq!(q.shard_peaks(), &[3, 1]);
+        assert_eq!(q.peak(), 3, "global peak is the hottest shard's");
+        // Draining resets depth but never the cumulative peaks.
+        let _ = q.take();
+        q.push(1, req(1, 1));
+        q.push(1, req(1, 2));
+        assert_eq!(q.shard_peaks(), &[3, 2]);
+        assert_eq!(q.peak(), 3);
+    }
+
+    #[test]
+    fn tick_deltas_reset_on_take_tick() {
+        let mut q = BoundedQueues::new(2, 2);
+        for seq in 0..3 {
+            q.push(0, req(0, seq)); // third one sheds
+        }
+        q.push(1, req(1, 0));
+        let _ = q.take();
+        let tick = q.take_tick();
+        assert_eq!(tick[0].submitted, 2);
+        assert_eq!(tick[0].shed, 1);
+        assert_eq!(tick[0].peak, 2);
+        assert_eq!(tick[0].depth, 2);
+        assert_eq!(tick[1].submitted, 1);
+        assert_eq!(tick[1].shed, 0);
+        // The next tick starts from zero; cumulative counters persist.
+        q.push(0, req(0, 3));
+        let _ = q.take();
+        let tick = q.take_tick();
+        assert_eq!(tick[0].submitted, 1);
+        assert_eq!(tick[0].shed, 0);
+        assert_eq!(tick[0].peak, 1);
+        assert_eq!(q.shed(), 1);
+        assert_eq!(q.shard_peaks(), &[2, 1]);
     }
 
     #[test]

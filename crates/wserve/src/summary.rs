@@ -68,10 +68,13 @@ pub fn summary_json(report: &FleetReport) -> String {
         };
         let _ = writeln!(
             out,
-            "    {{\"id\": {}, \"truth\": {}, \"ok\": {}, \"failed\": {}, \"shed\": {}, \
+            "    {{\"id\": {}, \"truth\": {}, \"environment\": \"{}\", \"material\": \"{}\", \
+             \"ok\": {}, \"failed\": {}, \"shed\": {}, \
              \"correct\": {}, \"rejected\": {}, \"salvaged\": {}, \"packets_spent\": {}}}{comma}",
             s.id,
             s.truth,
+            s.environment,
+            s.material,
             s.ok,
             s.failed,
             s.shed,
@@ -94,8 +97,12 @@ fn int_field(obj: &Json, key: &str) -> Result<u64, String> {
 
 /// Validates a `wimi-serve/1` summary: well-formed JSON, the right
 /// schema tag, a session record per reported session, and conserved
-/// accounting (`responses = ok + failed`, `requests = responses + shed`).
-/// Fail-closed: anything unexpected is an error, not a skip.
+/// accounting — fleet-wide (`responses = ok + failed`,
+/// `requests = responses + shed`) and per session (every session's
+/// `ok + failed + shed` must equal the fleet's `measurements`: every
+/// request a session was owed is accounted for as served or shed, so a
+/// fold that misattributes responses cannot pass). Fail-closed:
+/// anything unexpected is an error, not a skip.
 pub fn validate_summary(text: &str) -> Result<(), String> {
     let root = json::parse(text)?;
     match root.get("schema").and_then(Json::as_str) {
@@ -107,6 +114,7 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
         .get("fleet")
         .ok_or_else(|| "missing fleet object".to_owned())?;
     let sessions = int_field(fleet, "sessions")?;
+    let measurements = int_field(fleet, "measurements")?;
     let totals = root
         .get("totals")
         .ok_or_else(|| "missing totals object".to_owned())?;
@@ -139,10 +147,24 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
                 ));
             }
             for row in rows {
+                let id = int_field(row, "id")?;
                 let row_ok = int_field(row, "ok")?;
+                let row_failed = int_field(row, "failed")?;
+                let row_shed = int_field(row, "shed")?;
                 let row_correct = int_field(row, "correct")?;
                 if row_correct > row_ok {
                     return Err(format!("session correct {row_correct} > ok {row_ok}"));
+                }
+                if row_ok + row_failed + row_shed != measurements {
+                    return Err(format!(
+                        "session {id}: ok {row_ok} + failed {row_failed} + shed {row_shed} \
+                         != measurements {measurements}"
+                    ));
+                }
+                for key in ["environment", "material"] {
+                    if row.get(key).and_then(Json::as_str).is_none() {
+                        return Err(format!("session {id}: missing or non-string \"{key}\""));
+                    }
                 }
             }
         }

@@ -43,6 +43,41 @@ impl TaskKey {
     pub fn session(id: u64) -> TaskKey {
         TaskKey { group: 3, id }
     }
+
+    /// Parses a label produced by this type's `Display` back into a key:
+    /// `"run"`, `"meas:<id>"`, `"svm:<a>x<b>"`, `"sess:<id>"`.
+    ///
+    /// The parser is strict — ids must be bare decimal digits (no sign,
+    /// no leading `+`), svm class halves must fit 32 bits, and unknown
+    /// group labels (`g<n>:<id>`) return `None` — so readers that
+    /// cross-link artifacts through labels (the `wimi-metrics` timeline's
+    /// exhausted-session lists) fail closed on anything `Display` could
+    /// not have written.
+    pub fn from_label(label: &str) -> Option<TaskKey> {
+        fn digits(text: &str) -> Option<u64> {
+            if text.is_empty() || !text.bytes().all(|b| b.is_ascii_digit()) {
+                return None;
+            }
+            text.parse().ok()
+        }
+        if label == "run" {
+            return Some(TaskKey::RUN);
+        }
+        let (prefix, rest) = label.split_once(':')?;
+        match prefix {
+            "meas" => digits(rest).map(TaskKey::measurement),
+            "sess" => digits(rest).map(TaskKey::session),
+            "svm" => {
+                let (a, b) = rest.split_once('x')?;
+                let (a, b) = (digits(a)?, digits(b)?);
+                if a > 0xFFFF_FFFF || b > 0xFFFF_FFFF {
+                    return None;
+                }
+                Some(TaskKey::svm_machine(a as usize, b as usize))
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TaskKey {
@@ -296,6 +331,43 @@ mod tests {
         ];
         for ev in &events {
             assert!(TraceEvent::NAMES.contains(&ev.name()), "{}", ev.name());
+        }
+    }
+
+    #[test]
+    fn task_labels_round_trip_through_from_label() {
+        let keys = [
+            TaskKey::RUN,
+            TaskKey::measurement(0),
+            TaskKey::measurement(u64::MAX),
+            TaskKey::session(7),
+            TaskKey::svm_machine(3, 9),
+            TaskKey::svm_machine(0xFFFF_FFFF, 0),
+        ];
+        for key in keys {
+            assert_eq!(TaskKey::from_label(&key.to_string()), Some(key));
+        }
+    }
+
+    #[test]
+    fn from_label_rejects_what_display_never_writes() {
+        for bad in [
+            "",
+            "runx",
+            "sess:",
+            "sess:+3",
+            "sess:03x",
+            "sess:-1",
+            "meas:1.0",
+            "svm:1",
+            "svm:1x",
+            "svm:x2",
+            "svm:4294967296x0",
+            "g7:3",
+            "session:1",
+            "sess:1 ",
+        ] {
+            assert_eq!(TaskKey::from_label(bad), None, "{bad:?} must not parse");
         }
     }
 }

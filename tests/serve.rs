@@ -124,6 +124,39 @@ fn fleet_cache_misses_match_model_keys() {
 }
 
 #[test]
+fn queue_peaks_are_tracked_per_shard_and_globally() {
+    // The global queue peak, the serve_queue_peak counter, and the
+    // timeline's per-tick per-shard peaks must all tell the same story:
+    // the global figure is exactly the hottest shard sample.
+    let report = run_fleet(&tiny_fleet());
+    let timeline_max = report
+        .timeline
+        .ticks
+        .iter()
+        .map(|t| t.queue_peak())
+        .max()
+        .unwrap_or(0);
+    assert_eq!(timeline_max, report.queue_peak as u64);
+    let counter = report
+        .counters
+        .iter()
+        .find(|&&(n, _)| n == "serve_queue_peak")
+        .map(|&(_, v)| v);
+    assert_eq!(counter, Some(report.queue_peak as u64));
+    for tick in &report.timeline.ticks {
+        assert_eq!(tick.shards.len(), 3, "one sample per shard per tick");
+        for shard in &tick.shards {
+            assert!(shard.peak <= report.queue_peak as u64);
+        }
+    }
+    // 6 sessions round-robin over 3 shards: every shard queues exactly 2
+    // requests per tick, so each per-shard peak is 2 — strictly finer
+    // than a single global gauge could record.
+    let last = report.timeline.ticks.last().expect("at least one tick");
+    assert!(last.shards.iter().all(|s| s.peak == 2), "{:?}", last.shards);
+}
+
+#[test]
 fn worker_panic_is_forwarded_not_swallowed() {
     let catalog: Vec<(String, LiquidSpec)> = [Liquid::Milk, Liquid::PureWater]
         .iter()
